@@ -1,0 +1,82 @@
+// Command daxbench regenerates the DaxVM paper's evaluation tables and
+// figures on the simulated machine.
+//
+// Usage:
+//
+//	daxbench list                 # list experiment ids
+//	daxbench all [-quick]         # run everything
+//	daxbench <id> [...] [-quick]  # run specific experiments (fig4, table2, ...)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"daxvm/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink working sets for a fast pass")
+	verbose := flag.Bool("v", false, "stream per-configuration progress")
+	flag.Parse()
+	// Accept flags after the command too (flag stops at positionals).
+	args := make([]string, 0, flag.NArg())
+	for _, a := range flag.Args() {
+		switch a {
+		case "-quick", "--quick":
+			*quick = true
+		case "-v", "--v":
+			*verbose = true
+		default:
+			args = append(args, a)
+		}
+	}
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	opts := bench.Options{Quick: *quick}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+
+	switch args[0] {
+	case "list":
+		for _, e := range bench.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	case "all":
+		for _, e := range bench.All() {
+			runOne(e, opts)
+		}
+		return
+	default:
+		for _, id := range args {
+			e, ok := bench.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; try 'daxbench list'\n", id)
+				os.Exit(2)
+			}
+			runOne(e, opts)
+		}
+	}
+}
+
+func runOne(e bench.Experiment, opts bench.Options) {
+	start := time.Now()
+	r := e.Run(opts)
+	bench.Render(os.Stdout, r)
+	fmt.Fprintf(os.Stderr, "[%s finished in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `daxbench — DaxVM (MICRO'22) evaluation reproduction
+usage:
+  daxbench list
+  daxbench all [-quick] [-v]
+  daxbench <id> [<id>...] [-quick] [-v]`)
+}

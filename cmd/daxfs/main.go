@@ -1,0 +1,99 @@
+// Command daxfs inspects simulated file-system images: it formats a
+// device, optionally ages it with the Geriatrix-style churn, and reports
+// fragmentation and huge-page-coverage statistics — the image properties
+// that drive the paper's aged-vs-fresh contrasts.
+//
+// Usage:
+//
+//	daxfs [-size GiB] [-age] [-rounds N] [-util 0.70] [-probe MiB]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"daxvm/internal/fs/agefs"
+	"daxvm/internal/fs/ext4"
+	"daxvm/internal/fs/vfs"
+	"daxvm/internal/mem"
+	"daxvm/internal/pmem"
+	"daxvm/internal/sim"
+)
+
+func main() {
+	sizeGiB := flag.Int("size", 2, "device size in GiB")
+	age := flag.Bool("age", false, "apply Geriatrix-style churn")
+	rounds := flag.Int("rounds", 6, "churn rounds")
+	util := flag.Float64("util", 0.70, "target utilization")
+	probeMiB := flag.Int("probe", 64, "probe allocation size in MiB")
+	flag.Parse()
+
+	dev := pmem.New(pmem.Config{Size: uint64(*sizeGiB) << 30})
+	fs := ext4.Mkfs(ext4.Config{Dev: dev, JournalBytes: 64 << 20})
+
+	e := sim.New()
+	e.Go("daxfs", 0, 0, func(t *sim.Thread) {
+		if *age {
+			cfg := agefs.DefaultConfig()
+			cfg.ChurnRounds = *rounds
+			cfg.Utilization = *util
+			rep, err := agefs.Age(t, fs, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aging:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("aged image: %d live files, utilization %.2f\n", rep.FilesLive, rep.Utilization)
+		}
+		fmt.Printf("free space:   %s\n", human(fs.FreeSpace()))
+		fmt.Printf("free extents: %d\n", fs.FreeExtentCount())
+
+		// Probe: how fragmented would a large allocation be, and what
+		// huge-page coverage would it get?
+		in, err := fs.Create(t, "probe")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "probe:", err)
+			os.Exit(1)
+		}
+		probe := uint64(*probeMiB) << 20
+		if err := fs.Fallocate(t, in, 0, probe); err != nil {
+			fmt.Fprintln(os.Stderr, "probe fallocate:", err)
+			os.Exit(1)
+		}
+		exts := fs.Extents(in)
+		hugeable := 0
+		totalHuge := int(probe / mem.HugeSize)
+		for chunk := 0; chunk < totalHuge; chunk++ {
+			first := uint64(chunk) * 512
+			if covered(exts, first) {
+				hugeable++
+			}
+		}
+		fmt.Printf("probe %s:     %d extents, huge coverage %d/%d (%.0f%%)\n",
+			human(probe), len(exts), hugeable, totalHuge, 100*float64(hugeable)/float64(totalHuge))
+	})
+	e.Run()
+}
+
+// covered reports whether file blocks [first, first+512) sit in one
+// extent with 2 MiB-aligned physical start.
+func covered(exts []vfs.Extent, first uint64) bool {
+	for _, e := range exts {
+		if e.File <= first && first+512 <= e.End() {
+			phys := e.Phys + (first - e.File)
+			return phys%512 == 0
+		}
+	}
+	return false
+}
+
+func human(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

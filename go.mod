@@ -1,0 +1,3 @@
+module daxvm
+
+go 1.22

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+
+	"daxvm/internal/core"
+	"daxvm/internal/kernel"
+	"daxvm/internal/sim"
+	"daxvm/internal/workload/corpus"
+	"daxvm/internal/workload/pmemrocks"
+	"daxvm/internal/workload/webserver"
+	"daxvm/internal/workload/wl"
+	"daxvm/internal/workload/ycsb"
+)
+
+func init() {
+	register("ablate-batch", "Ablation: async-unmap batch threshold 33 vs 512 (§V-C)", runAblateBatch)
+	register("ablate-threshold", "Ablation: volatile/persistent file-table threshold (§IV-A1)", runAblateThreshold)
+	register("ablate-migration", "Ablation: table migration monitor on/off (§V-B)", runAblateMigration)
+	register("ablate-throttle", "Ablation: pre-zero bandwidth throttle (§V-C)", runAblateThrottle)
+}
+
+// runAblateBatch sweeps the zombie-batch size on the web-server workload
+// (paper: 33 -> 512 pages gains ~20% but widens the vulnerability window).
+func runAblateBatch(o Options) *Result {
+	batches := []uint64{33, 128, 512}
+	th := 16
+	reqs := 300
+	if o.Quick {
+		th = 8
+		reqs = 120
+	}
+	res := &Result{ID: "ablate-batch", Title: "Async-unmap batch threshold vs web-server throughput"}
+	tab := Table{Cols: []string{"batch-pages", "req/s", "zombie-batches"}}
+	for _, b := range batches {
+		iface := wl.DaxVMAsync
+		k := boot(o, iface, th, true, kernel.Ext4, func(c *kernel.Config) {
+			c.DaxVMConfig = core.Config{AsyncBatchPages: b}
+		})
+		r := webserver.Run(k, webserver.Config{
+			Threads: th, PageBytes: 32 << 10, Pages: 128,
+			RequestsPerThread: reqs, Iface: iface, Seed: 7,
+		})
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", b), fmtF(r.Throughput),
+			fmt.Sprintf("%d", k.Dax.Stats.ZombieBatches),
+		})
+		res.Metric(fmt.Sprintf("batch%d", b), r.Throughput)
+		o.logf("ablate-batch %d: %.0f req/s", b, r.Throughput)
+	}
+	res.Tables = append(res.Tables, tab)
+	return res
+}
+
+// runAblateThreshold sweeps the volatile/persistent split on a small-file
+// corpus: PMem storage tax vs DRAM tax vs cold-open behaviour.
+func runAblateThreshold(o Options) *Result {
+	thresholds := []uint64{0, 32 << 10, 1 << 40}
+	names := []string{"all-persistent", "32K (default)", "all-volatile"}
+	files := 2000
+	if o.Quick {
+		files = 600
+	}
+	res := &Result{ID: "ablate-threshold", Title: "Volatile/persistent threshold: storage vs DRAM tax"}
+	tab := Table{Cols: []string{"threshold", "PMem-tables", "DRAM-tables"}}
+	for i, thr := range thresholds {
+		iface := wl.DaxVMFull
+		k := boot(o, iface, 1, false, kernel.Ext4, func(c *kernel.Config) {
+			c.DaxVMConfig = core.Config{VolatileThreshold: maxU64(thr, 1)}
+		})
+		proc := k.NewProc()
+		k.Setup(func(t *sim.Thread) {
+			cfg := corpus.DefaultTree()
+			cfg.Files = files
+			cfg.LargeFiles = 1
+			corpus.BuildTree(t, proc, cfg)
+		})
+		tab.Rows = append(tab.Rows, []string{
+			names[i],
+			fmtBytes(k.Dax.Stats.PMemTableBytes),
+			fmtBytes(k.Dax.Stats.DRAMTableBytes),
+		})
+		res.Metric(fmt.Sprintf("pmem/%s", names[i]), float64(k.Dax.Stats.PMemTableBytes))
+		res.Metric(fmt.Sprintf("dram/%s", names[i]), float64(k.Dax.Stats.DRAMTableBytes))
+		o.logf("ablate-threshold %s: pmem=%s dram=%s", names[i],
+			fmtBytes(k.Dax.Stats.PMemTableBytes), fmtBytes(k.Dax.Stats.DRAMTableBytes))
+	}
+	res.Tables = append(res.Tables, tab)
+	return res
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runAblateMigration reruns the fig5 random-read pattern with the MMU
+// monitor on and off (paper: migration recovers ~10%).
+func runAblateMigration(o Options) *Result {
+	fileSize := uint64(192 << 20)
+	ops := 30_000
+	if o.Quick {
+		fileSize = 48 << 20
+		ops = 10_000
+	}
+	res := &Result{ID: "ablate-migration", Title: "Fig. 5 rand-read with file-table migration on/off"}
+	tab := Table{Cols: []string{"monitor", "ops/s", "migrations"}}
+	for _, mon := range []bool{false, true} {
+		iface := wl.DaxVMNoSync
+		k := boot(o, iface, 1, false, kernel.Ext4, func(c *kernel.Config) {
+			c.Monitor = mon
+		})
+		proc := k.NewProc()
+		var fd int
+		k.Setup(func(t *sim.Thread) {
+			fd, _ = proc.Create(t, "big")
+			pad, _ := proc.Create(t, "pad")
+			// Fragmented growth defeats huge promotion so walks hit the
+			// PMem-resident tables.
+			for off := uint64(0); off < fileSize; off += 512 << 10 {
+				proc.Fallocate(t, fd, 0, off+512<<10)
+				proc.Fallocate(t, pad, 0, off/1024+4096)
+			}
+		})
+		cycles := runRepetitive(k, proc, fd, iface, pattern{"rand-read-4K", true, false, 4 << 10}, fileSize&^(2<<20-1), ops)
+		tp := opsps(uint64(ops), cycles)
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%v", mon), fmtF(tp), fmt.Sprintf("%d", k.Dax.Stats.Migrations),
+		})
+		res.Metric(fmt.Sprintf("monitor-%v", mon), tp)
+		o.logf("ablate-migration monitor=%v: %.0f ops/s (%d migrations)", mon, tp, k.Dax.Stats.Migrations)
+	}
+	res.Tables = append(res.Tables, tab)
+	return res
+}
+
+// runAblateThrottle compares pre-zero throttle settings on the YCSB load
+// phase (paper: a 64 MB/s throttle costs 5-10% vs pre-zeroed-in-advance).
+func runAblateThrottle(o Options) *Result {
+	rates := []uint64{64, 512, 4096}
+	cfg := pmemrocks.DefaultConfig()
+	cfg.Mix = ycsb.WorkloadLoad
+	if o.Quick {
+		cfg.Ops = 6_000
+		cfg.Threads = 4
+	}
+	res := &Result{ID: "ablate-throttle", Title: "Pre-zero throttle vs YCSB load throughput"}
+	tab := Table{Cols: []string{"throttle-MB/s", "ops/s", "prezeroed-MB"}}
+	for _, rate := range rates {
+		c := cfg
+		c.Iface = wl.DaxVMNoSync
+		k := boot(o, c.Iface, c.Threads, true, kernel.Ext4, func(kc *kernel.Config) {
+			kc.Cores = c.Threads + 1
+			kc.Prezero = true
+			kc.DaxVMConfig = core.Config{PrezeroBandwidthMBps: rate}
+		})
+		r := pmemrocks.Run(k, c)
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", rate), fmtF(r.Throughput),
+			fmt.Sprintf("%d", k.Dax.Stats.PrezeroedMB),
+		})
+		res.Metric(fmt.Sprintf("rate%d", rate), r.Throughput)
+		o.logf("ablate-throttle %d MB/s: %.0f ops/s", rate, r.Throughput)
+	}
+	res.Tables = append(res.Tables, tab)
+	return res
+}

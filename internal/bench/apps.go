@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"fmt"
+
+	"daxvm/internal/kernel"
+	"daxvm/internal/workload/corpus"
+	"daxvm/internal/workload/pmemrocks"
+	"daxvm/internal/workload/predis"
+	"daxvm/internal/workload/textsearch"
+	"daxvm/internal/workload/webserver"
+	"daxvm/internal/workload/wl"
+	"daxvm/internal/workload/ycsb"
+)
+
+func init() {
+	register("fig8a", "Web server scalability, 32 KiB pages (Fig. 8a)", runFig8a)
+	register("fig8b", "Web server throughput vs page size at 16 cores (Fig. 8b)", runFig8b)
+	register("fig9a", "Text search scalability over a source tree (Fig. 9a)", runFig9a)
+	register("fig9b", "P-Redis boot-time throughput curve (Fig. 9b)", runFig9b)
+	register("fig9c", "YCSB on a Pmem-RocksDB-like store, aged ext4-DAX (Fig. 9c)", runFig9c)
+	register("fig9c-nova", "YCSB on the same store over NOVA (§V-C)", runFig9cNova)
+}
+
+// apacheIfaces is Fig. 8a's incremental interface set.
+var apacheIfaces = []wl.Iface{
+	wl.Read, wl.Mmap, wl.MmapPopulate, wl.MmapLATR,
+	wl.DaxVMTables, wl.DaxVMEph, wl.DaxVMAsync,
+}
+
+func runFig8a(o Options) *Result {
+	threads := []int{1, 2, 4, 8, 16}
+	reqs := 300
+	if o.Quick {
+		threads = []int{1, 4, 16}
+		reqs = 100
+	}
+	res := &Result{ID: "fig8a", Title: "Web server requests/s vs cores (32 KiB pages, aged ext4-DAX)"}
+	tab := Table{Cols: []string{"cores"}}
+	for _, f := range apacheIfaces {
+		tab.Cols = append(tab.Cols, f.Name)
+	}
+	for _, th := range threads {
+		row := []string{fmt.Sprintf("%d", th)}
+		for _, iface := range apacheIfaces {
+			k := boot(o, iface, th, true, kernel.Ext4, nil)
+			r := webserver.Run(k, webserver.Config{
+				Threads: th, PageBytes: 32 << 10, Pages: 128,
+				RequestsPerThread: reqs, Iface: iface, Seed: 7,
+			})
+			row = append(row, fmtF(r.Throughput))
+			res.Metric(fmt.Sprintf("t%d/%s", th, iface.Name), r.Throughput)
+			o.logf("fig8a t=%d %s: %.0f req/s", th, iface.Name, r.Throughput)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	res.Tables = append(res.Tables, tab)
+	return res
+}
+
+func runFig8b(o Options) *Result {
+	sizes := []uint64{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	reqs := 200
+	cores := 16
+	if o.Quick {
+		sizes = []uint64{16 << 10, 256 << 10}
+		reqs = 80
+	}
+	ifaces := []wl.Iface{wl.Read, wl.Mmap, wl.MmapPopulate, wl.DaxVMAsync}
+	res := &Result{ID: "fig8b", Title: "Web server throughput vs page size, 16 cores, relative to read(2)"}
+	tab := Table{Cols: []string{"pagesize"}}
+	for _, f := range ifaces {
+		tab.Cols = append(tab.Cols, f.Name)
+	}
+	for _, size := range sizes {
+		row := []string{fmtBytes(size)}
+		var baseline float64
+		for _, iface := range ifaces {
+			k := boot(o, iface, cores, true, kernel.Ext4, nil)
+			r := webserver.Run(k, webserver.Config{
+				Threads: cores, PageBytes: size, Pages: 128,
+				RequestsPerThread: reqs, Iface: iface, Seed: 7,
+			})
+			if iface.Name == "read" {
+				baseline = r.Throughput
+			}
+			row = append(row, fmtRel(r.Throughput, baseline))
+			res.Metric(fmt.Sprintf("%s/%s", fmtBytes(size), iface.Name), r.Throughput)
+			o.logf("fig8b %s %s: %.0f req/s", fmtBytes(size), iface.Name, r.Throughput)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	res.Tables = append(res.Tables, tab)
+	return res
+}
+
+func runFig9a(o Options) *Result {
+	threads := []int{1, 2, 4, 8, 16}
+	tree := corpusScaled(o)
+	ifaces := []wl.Iface{wl.Read, wl.Mmap, wl.MmapPopulate, wl.DaxVMAsync}
+	if o.Quick {
+		threads = []int{1, 4, 16}
+	}
+	res := &Result{ID: "fig9a", Title: "Text search MB/s vs cores (source-tree corpus, aged ext4-DAX)"}
+	tab := Table{Cols: []string{"cores"}}
+	for _, f := range ifaces {
+		tab.Cols = append(tab.Cols, f.Name)
+	}
+	var wantMatches uint64
+	for _, th := range threads {
+		row := []string{fmt.Sprintf("%d", th)}
+		for _, iface := range ifaces {
+			k := boot(o, iface, th, true, kernel.Ext4, nil)
+			r := textsearch.Run(k, textsearch.Config{Threads: th, Tree: tree, Iface: iface})
+			if wantMatches == 0 {
+				wantMatches = r.Matches
+			} else if r.Matches != wantMatches {
+				res.Note("MATCH MISMATCH: %s t=%d found %d, expected %d", iface.Name, th, r.Matches, wantMatches)
+			}
+			row = append(row, fmtF(r.Throughput))
+			res.Metric(fmt.Sprintf("t%d/%s", th, iface.Name), r.Throughput)
+			o.logf("fig9a t=%d %s: %.0f MB/s (%d matches)", th, iface.Name, r.Throughput, r.Matches)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	res.Metric("matches", float64(wantMatches))
+	res.Tables = append(res.Tables, tab)
+	return res
+}
+
+func corpusScaled(o Options) corpus.TreeConfig {
+	c := corpus.DefaultTree()
+	if o.Quick {
+		c.Files = 1200
+		c.LargeFiles = 1
+		c.LargeBytes = 8 << 20
+	} else {
+		c.Files = 4000
+	}
+	return c
+}
+
+func runFig9b(o Options) *Result {
+	cfg := predis.DefaultConfig()
+	if o.Quick {
+		cfg.CacheBytes = 256 << 20
+		cfg.Gets = 12_000
+		cfg.Buckets = 12
+	}
+	variants := []struct {
+		name  string
+		iface wl.Iface
+	}{
+		{"mmap", wl.Mmap},
+		{"populate", wl.MmapPopulate},
+		{"daxvm", wl.DaxVMNoSync},
+	}
+	res := &Result{ID: "fig9b", Title: "P-Redis throughput over the first gets after boot (Fig. 9b)"}
+	tab := Table{Cols: []string{"variant", "boot-ms", "first-bucket", "last-bucket", "curve"}}
+	for _, v := range variants {
+		c := cfg
+		c.Iface = v.iface
+		k := boot(o, v.iface, 1, true, kernel.Ext4, func(kc *kernel.Config) {
+			kc.DeviceBytes = c.CacheBytes*4 + (1 << 30) // aged to 70%: keep ~30% free > cache
+		})
+		r := predis.Run(k, c)
+		bootMS := float64(r.SetupCycles) / 2_700_000
+		curve := ""
+		for i, b := range r.Bucket {
+			if i%3 == 0 {
+				curve += fmt.Sprintf("%.0fk ", b/1000)
+			}
+		}
+		tab.Rows = append(tab.Rows, []string{
+			v.name, fmt.Sprintf("%.2f", bootMS),
+			fmtF(r.Bucket[0]), fmtF(r.Bucket[len(r.Bucket)-1]), curve,
+		})
+		res.Metric(v.name+"/boot-ms", bootMS)
+		res.Metric(v.name+"/first", r.Bucket[0])
+		res.Metric(v.name+"/last", r.Bucket[len(r.Bucket)-1])
+		if !r.Verified {
+			res.Note("VERIFICATION FAILED for %s", v.name)
+		}
+		o.logf("fig9b %s: boot %.2fms first %.0f last %.0f", v.name, bootMS, r.Bucket[0], r.Bucket[len(r.Bucket)-1])
+	}
+	res.Tables = append(res.Tables, tab)
+	return res
+}
+
+// ycsbVariants is Fig. 9c's interface set.
+var ycsbVariants = []struct {
+	name    string
+	iface   wl.Iface
+	prezero bool
+}{
+	{"mmap", wl.Mmap, false},
+	{"populate", wl.MmapPopulate, false},
+	{"daxvm", wl.DaxVMTables, true},
+	{"daxvm-nosync", wl.DaxVMNoSync, true},
+}
+
+func runYCSB(o Options, id string, fsKind kernel.FSKind, aged bool) *Result {
+	mixes := []string{"load", "a", "b", "c", "d", "e", "f"}
+	cfg := pmemrocks.DefaultConfig()
+	if o.Quick {
+		mixes = []string{"load", "a", "c"}
+		cfg.InitialRecords = 6_000
+		cfg.Ops = 6_000
+		cfg.Threads = 4
+	}
+	res := &Result{ID: id, Title: fmt.Sprintf("YCSB ops/s relative to default mmap (%s)", fsKind)}
+	tab := Table{Cols: []string{"workload"}}
+	for _, v := range ycsbVariants {
+		tab.Cols = append(tab.Cols, v.name)
+	}
+	for _, mixName := range mixes {
+		mix, err := ycsb.ByName(mixName)
+		if err != nil {
+			panic(err)
+		}
+		label := "run-" + mixName
+		if mixName == "load" {
+			label = "load"
+		}
+		row := []string{label}
+		var baseline float64
+		for _, v := range ycsbVariants {
+			c := cfg
+			c.Mix = mix
+			c.Iface = v.iface
+			k := boot(o, v.iface, c.Threads, aged, fsKind, func(kc *kernel.Config) {
+				kc.Cores = c.Threads + 1 // spare core for the zero daemon
+				kc.Prezero = v.prezero && v.iface.DaxVM
+				kc.DeviceBytes = 3 << 30
+				if o.Quick {
+					kc.DeviceBytes = 1500 << 20
+				}
+			})
+			r := pmemrocks.Run(k, c)
+			if v.name == "mmap" {
+				baseline = r.Throughput
+			}
+			row = append(row, fmtRel(r.Throughput, baseline))
+			res.Metric(fmt.Sprintf("%s/%s", label, v.name), r.Throughput)
+			if !r.Verified {
+				res.Note("VERIFICATION FAILED: %s %s", label, v.name)
+			}
+			o.logf("%s %s %s: %.0f ops/s (%d flushes, %d compactions)", id, label, v.name, r.Throughput, r.Flushes, r.Compactions)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	res.Tables = append(res.Tables, tab)
+	return res
+}
+
+func runFig9c(o Options) *Result     { return runYCSB(o, "fig9c", kernel.Ext4, true) }
+func runFig9cNova(o Options) *Result { return runYCSB(o, "fig9c-nova", kernel.Nova, true) }

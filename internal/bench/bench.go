@@ -1,0 +1,180 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation on the simulated machine and prints the
+// same rows/series the paper reports. Absolute numbers are simulator
+// cycles, not testbed wall-clock; the shape (who wins, by what factor,
+// where the knees are) is the reproduction target — see EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Quick shrinks working sets for CI/testing.
+	Quick bool
+	// Log receives progress lines (may be nil).
+	Log io.Writer
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Table is one printable result table.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+}
+
+// Result is an experiment outcome.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []Table
+	Notes  []string
+	// Metrics holds named scalar outcomes for programmatic assertions
+	// (bench_test.go checks the paper-shape claims against these).
+	Metrics map[string]float64
+}
+
+// Metric records a scalar.
+func (r *Result) Metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
+}
+
+// Note appends a free-form annotation.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Experiment is a registered reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options) *Result
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(o Options) *Result) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns the registered experiments in registration order.
+func All() []Experiment { return registry }
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists registered ids.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Render prints a result as aligned text.
+func Render(w io.Writer, r *Result) {
+	fmt.Fprintf(w, "== %s — %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		if t.Title != "" {
+			fmt.Fprintf(w, "\n-- %s --\n", t.Title)
+		}
+		widths := make([]int, len(t.Cols))
+		for i, c := range t.Cols {
+			widths[i] = len(c)
+		}
+		for _, row := range t.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		line := func(cells []string) {
+			var b strings.Builder
+			for i, cell := range cells {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			}
+			fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		}
+		line(t.Cols)
+		for _, row := range t.Rows {
+			line(row)
+		}
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w)
+		for _, n := range r.Notes {
+			fmt.Fprintf(w, "note: %s\n", n)
+		}
+	}
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(w)
+		for _, k := range keys {
+			fmt.Fprintf(w, "metric: %-40s %10.3f\n", k, r.Metrics[k])
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// fmtRel formats a value relative to a baseline ("1.00x").
+func fmtRel(v, base float64) string {
+	if base == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", v/base)
+}
+
+// fmtF formats a float compactly.
+func fmtF(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// fmtBytes human-prints a byte count.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fG", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fM", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fK", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"daxvm/internal/cost"
+	"daxvm/internal/mem"
+	"daxvm/internal/mm"
+	"daxvm/internal/sim"
+)
+
+// regionSize is the granularity in which the ephemeral heap grows its
+// virtual reservation (paper §IV-B: 1 GiB regions).
+const regionSize = 1 << 30
+
+// EphemeralHeap is DaxVM's dedicated address-space allocator for
+// ephemeral mappings: linear (stack-like) allocation inside 1 GiB virtual
+// regions, a per-region live counter for wholesale reuse, and a dedicated
+// spinlock-protected VMA list instead of the global VMA tree. Heap
+// operations take mmap_sem only as readers, which is what lets
+// m(un)map-heavy workloads scale (Fig. 8a).
+type EphemeralHeap struct {
+	m       *mm.MM
+	lock    sim.SpinLock
+	regions []*heapRegion
+
+	// vmas tracks live ephemeral mappings, ordered by start (the paper's
+	// per-heap list; a slice with binary search keeps lookups cheap in
+	// the simulator).
+	vmas map[mem.VirtAddr]*mm.VMA
+
+	Stats EphemeralStats
+}
+
+// EphemeralStats counts heap activity.
+type EphemeralStats struct {
+	Allocs       uint64
+	Frees        uint64
+	RegionGrows  uint64
+	RegionResets uint64
+}
+
+type heapRegion struct {
+	base mem.VirtAddr
+	used uint64
+	live int
+}
+
+// NewEphemeralHeap creates the heap for one process.
+func NewEphemeralHeap(m *mm.MM) *EphemeralHeap {
+	return &EphemeralHeap{m: m, vmas: make(map[mem.VirtAddr]*mm.VMA)}
+}
+
+// Alloc returns a 2 MiB-aligned virtual range of vlen bytes. The caller
+// holds mmap_sem as reader; region growth upgrades briefly to writer.
+func (h *EphemeralHeap) Alloc(t *sim.Thread, vlen uint64) mem.VirtAddr {
+	vlen = mem.AlignedUp(vlen, mem.HugeSize)
+	h.lock.Lock(t, cost.SpinLockAcquire)
+	t.Charge(cost.EphemeralAlloc)
+	var r *heapRegion
+	if n := len(h.regions); n > 0 {
+		r = h.regions[n-1]
+		if r.used+vlen > regionSize {
+			r = nil
+		}
+	}
+	if r == nil {
+		r = h.grow(t)
+	}
+	va := r.base + mem.VirtAddr(r.used)
+	r.used += vlen
+	r.live++
+	h.Stats.Allocs++
+	h.lock.Unlock(t, cost.SpinLockRelease)
+	return va
+}
+
+// grow reserves a new 1 GiB region. The reservation itself needs the VA
+// cursor, which GetUnmappedArea owns; growth is rare so the extra cost is
+// amortized away.
+func (h *EphemeralHeap) grow(t *sim.Thread) *heapRegion {
+	va := h.m.GetUnmappedArea(t, regionSize, mem.HugeSize)
+	r := &heapRegion{base: va}
+	h.regions = append(h.regions, r)
+	h.Stats.RegionGrows++
+	return r
+}
+
+// Register records a live ephemeral VMA (caller holds Sem as reader).
+func (h *EphemeralHeap) Register(t *sim.Thread, v *mm.VMA) {
+	h.lock.Lock(t, cost.SpinLockAcquire)
+	h.vmas[v.Start] = v
+	h.lock.Unlock(t, cost.SpinLockRelease)
+}
+
+// Unregister drops a VMA and releases its region space when the region
+// drains (stack-like reuse).
+func (h *EphemeralHeap) Unregister(t *sim.Thread, v *mm.VMA) {
+	h.lock.Lock(t, cost.SpinLockAcquire)
+	t.Charge(cost.EphemeralFree)
+	if _, ok := h.vmas[v.Start]; ok {
+		delete(h.vmas, v.Start)
+		h.Stats.Frees++
+		for _, r := range h.regions {
+			if v.Start >= r.base && v.Start < r.base+regionSize {
+				r.live--
+				if r.live == 0 {
+					r.used = 0
+					h.Stats.RegionResets++
+				}
+				break
+			}
+		}
+	}
+	h.lock.Unlock(t, cost.SpinLockRelease)
+}
+
+// Lookup resolves va to a live ephemeral VMA (no locking cost: used by
+// the fault path under Sem-read, where the DES serializes access).
+func (h *EphemeralHeap) Lookup(va mem.VirtAddr) *mm.VMA {
+	if v, ok := h.vmas[va]; ok {
+		return v
+	}
+	// The fault address is usually interior; scan regions first to
+	// bail out fast for non-heap addresses.
+	inHeap := false
+	for _, r := range h.regions {
+		if va >= r.base && va < r.base+regionSize {
+			inHeap = true
+			break
+		}
+	}
+	if !inHeap {
+		return nil
+	}
+	for _, v := range h.vmas {
+		if va >= v.Start && va < v.End {
+			return v
+		}
+	}
+	return nil
+}
+
+// Live reports live ephemeral mappings.
+func (h *EphemeralHeap) Live() int { return len(h.vmas) }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"daxvm/internal/cpu"
+	"daxvm/internal/dram"
+	"daxvm/internal/fs/ext4"
+	"daxvm/internal/mem"
+	"daxvm/internal/mm"
+	"daxvm/internal/pmem"
+	"daxvm/internal/sim"
+)
+
+func newHeap() *EphemeralHeap {
+	dev := pmem.New(pmem.Config{Size: 64 << 20})
+	f := ext4.Mkfs(ext4.Config{Dev: dev, JournalBytes: 8 << 20})
+	m := mm.New(dram.New(1<<30), f, cpu.NewSet(1))
+	return NewEphemeralHeap(m)
+}
+
+// Property: across any interleaving of allocations and frees, live ranges
+// never overlap and every allocation is 2 MiB aligned.
+func TestQuickEphemeralHeapNoOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newHeap()
+		ok := true
+		e := sim.New()
+		e.Go("t", 0, 0, func(th *sim.Thread) {
+			type live struct {
+				va  mem.VirtAddr
+				len uint64
+				v   *mm.VMA
+			}
+			var lives []live
+			for op := 0; op < 200; op++ {
+				if rng.Intn(2) == 0 || len(lives) == 0 {
+					vlen := uint64(1+rng.Intn(4)) * mem.HugeSize
+					va := h.Alloc(th, vlen)
+					if uint64(va)%mem.HugeSize != 0 {
+						ok = false
+						return
+					}
+					for _, l := range lives {
+						if va < l.va+mem.VirtAddr(l.len) && l.va < va+mem.VirtAddr(vlen) {
+							ok = false // overlap with a live mapping
+							return
+						}
+					}
+					v := &mm.VMA{Start: va, End: va + mem.VirtAddr(vlen), Ephemeral: true}
+					h.Register(th, v)
+					lives = append(lives, live{va, vlen, v})
+				} else {
+					i := rng.Intn(len(lives))
+					h.Unregister(th, lives[i].v)
+					lives[i] = lives[len(lives)-1]
+					lives = lives[:len(lives)-1]
+				}
+			}
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEphemeralHeapLookupInteriorAddresses(t *testing.T) {
+	h := newHeap()
+	e := sim.New()
+	e.Go("t", 0, 0, func(th *sim.Thread) {
+		va := h.Alloc(th, 4*mem.HugeSize)
+		v := &mm.VMA{Start: va, End: va + 4*mem.HugeSize, Ephemeral: true}
+		h.Register(th, v)
+		if h.Lookup(va+3*mem.HugeSize+12345) != v {
+			t.Error("interior lookup failed")
+		}
+		if h.Lookup(va+4*mem.HugeSize) != nil {
+			t.Error("lookup past end hit")
+		}
+		if h.Lookup(0x1234) != nil {
+			t.Error("non-heap address resolved")
+		}
+		h.Unregister(th, v)
+		if h.Lookup(va) != nil {
+			t.Error("freed mapping still resolvable")
+		}
+	})
+	e.Run()
+}

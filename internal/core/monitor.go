@@ -1,0 +1,161 @@
+package core
+
+import (
+	"daxvm/internal/cost"
+	"daxvm/internal/cpu"
+	"daxvm/internal/mem"
+	"daxvm/internal/pt"
+	"daxvm/internal/sim"
+)
+
+// Monitor is DaxVM's MMU performance monitor (paper Table III): it samples
+// hardware performance counters and, when the average page-walk latency
+// exceeds 200 cycles while walks consume more than 5% of execution time,
+// migrates the process's PMem-resident file tables to DRAM.
+type Monitor struct {
+	p     *Proc
+	cores []*cpu.Core
+
+	lastWalkCycles []uint64
+	lastWalks      []uint64
+	lastClock      []uint64
+
+	Stats MonitorStats
+}
+
+// MonitorStats records monitor decisions.
+type MonitorStats struct {
+	Samples       uint64
+	Triggers      uint64
+	AvgWalkSample uint64 // last sampled average walk latency
+}
+
+// monitorQuantum is the sampling period (1 ms).
+const monitorQuantum = 1000 * cost.CyclesPerUsec
+
+// NewMonitor starts the monitor daemon for a process.
+func NewMonitor(p *Proc, e *sim.Engine, coreID int) *Monitor {
+	cores := p.MM.Cores()
+	m := &Monitor{
+		p:              p,
+		cores:          cores,
+		lastWalkCycles: make([]uint64, len(cores)),
+		lastWalks:      make([]uint64, len(cores)),
+		lastClock:      make([]uint64, len(cores)),
+	}
+	e.GoDaemon("daxvm-mon", coreID, 0, m.run)
+	return m
+}
+
+func (m *Monitor) run(t *sim.Thread) {
+	for {
+		t.Sleep(monitorQuantum)
+		t.Charge(cost.PerfCounterRead * uint64(len(m.cores)))
+		m.Stats.Samples++
+		var dWalkCycles, dWalks, dBusy uint64
+		for i, c := range m.cores {
+			dWalkCycles += c.Stats.WalkCycles - m.lastWalkCycles[i]
+			dWalks += c.Stats.Walks - m.lastWalks[i]
+			m.lastWalkCycles[i] = c.Stats.WalkCycles
+			m.lastWalks[i] = c.Stats.Walks
+			if b := c.Bound(); b != nil {
+				now := b.Now()
+				if now > m.lastClock[i] {
+					dBusy += now - m.lastClock[i]
+					m.lastClock[i] = now
+				}
+			}
+		}
+		if dWalks == 0 || dBusy == 0 {
+			continue
+		}
+		avgWalk := dWalkCycles / dWalks
+		m.Stats.AvgWalkSample = avgWalk
+		overheadPct := dWalkCycles * 100 / dBusy
+		if avgWalk > cost.MonitorWalkCycleThreshold && overheadPct > cost.MonitorMMUOverheadPct {
+			m.migrate(t)
+		}
+	}
+}
+
+// migrate builds DRAM shadows of the PMem table nodes attached in the
+// process and re-splices the attachments (paper §IV-A1: "builds
+// asynchronously volatile tables and walks the process tables to detach
+// the persistent fragments and attach the new volatile").
+func (m *Monitor) migrate(t *sim.Thread) {
+	p := m.p
+	d := p.d
+	migratedAny := false
+	p.MM.Sem.Lock(t, cost.SemAcquireFast)
+	for _, ft := range d.tables {
+		if !ft.Persistent || ft.Migrated {
+			continue
+		}
+		anyChunk := false
+		for ci := range ft.chunks {
+			c := &ft.chunks[ci]
+			if c.node == nil || c.node.Medium != mem.PMem || c.volatileNode != nil {
+				continue
+			}
+			shadow := pt.NewNode(pt.LevelPTE, mem.DRAM)
+			shadow.Shared = true
+			shadow.NoAD = true
+			for i := 0; i < mem.PTEsPerTable; i++ {
+				if e := c.node.Entries[i]; e != 0 {
+					shadow.SetEntry(t, i, e)
+				}
+			}
+			// Copy cost: streaming read of one PMem page + DRAM stores.
+			t.Charge(cost.CopyFromPMemPerPage)
+			if d.dram != nil {
+				d.dram.AllocFrame(t)
+			}
+			d.Stats.DRAMTableBytes += mem.PageSize
+			c.volatileNode = shadow
+			anyChunk = true
+		}
+		if anyChunk {
+			ft.Migrated = true
+			migratedAny = true
+			m.reattach(t, ft)
+		}
+	}
+	p.MM.Sem.Unlock(t, cost.SemReleaseFast)
+	if migratedAny {
+		m.Stats.Triggers++
+		d.Stats.Migrations++
+		// Stale translations and PTE-line state die with one flush.
+		core := p.anyCore()
+		if core != nil {
+			d.cpus.Shootdown(t, core, p.MM.Cores(), cpu.ShootFull, nil, 0, 0)
+		}
+		for _, c := range p.MM.Cores() {
+			c.DropPTELines()
+		}
+	}
+}
+
+// reattach walks the process's DaxVM VMAs of this table and swaps the
+// attachment pointers to the DRAM shadows.
+func (m *Monitor) reattach(t *sim.Thread, ft *FileTable) {
+	p := m.p
+	for _, v := range p.vmasOf(ft.Ino) {
+		c0 := int(v.FileOff / mem.HugeSize)
+		n := int(uint64(v.End-v.Start) / mem.HugeSize)
+		for i := 0; i < n; i++ {
+			ci := c0 + i
+			if ci >= len(ft.chunks) {
+				break
+			}
+			c := &ft.chunks[ci]
+			if c.volatileNode == nil {
+				continue
+			}
+			va := v.Start + mem.VirtAddr(uint64(i)*mem.HugeSize)
+			if old := p.MM.AS.Detach(t, va, pt.LevelPMD); old != nil {
+				p.MM.AS.Attach(t, va, pt.LevelPMD, c.volatileNode, attachPerm(v))
+				t.Charge(cost.AttachEntry * 2)
+			}
+		}
+	}
+}

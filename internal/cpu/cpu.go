@@ -1,0 +1,294 @@
+// Package cpu models the cores of the simulated machine: the translation
+// front-end (TLB, page walker with medium-dependent costs, accessed/dirty
+// bit maintenance), data-access cost helpers, and the inter-processor
+// interrupt machinery used for TLB shootdowns.
+package cpu
+
+import (
+	"daxvm/internal/cost"
+	"daxvm/internal/mem"
+	"daxvm/internal/pt"
+	"daxvm/internal/sim"
+	"daxvm/internal/tlb"
+)
+
+// pteLineCacheSize is how many distinct PTE cache lines a core keeps warm;
+// it discriminates sequential from random access, reproducing Table II.
+const pteLineCacheSize = 192
+
+// Set is the machine's collection of cores.
+type Set struct {
+	Cores []*Core
+}
+
+// NewSet creates n cores.
+func NewSet(n int) *Set {
+	s := &Set{Cores: make([]*Core, n)}
+	for i := range s.Cores {
+		s.Cores[i] = &Core{
+			ID:       i,
+			TLB:      tlb.New(),
+			pteLines: make(map[lineKey]struct{}, pteLineCacheSize),
+		}
+	}
+	return s
+}
+
+// Core is one hardware thread.
+type Core struct {
+	ID  int
+	TLB *tlb.TLB
+
+	// bound is the sim thread currently executing on this core (IPI
+	// targets are charged through it).
+	bound *sim.Thread
+
+	// PTE-line reuse cache for the walk cost model.
+	pteLines   map[lineKey]struct{}
+	pteOrder   []lineKey
+	pteLineGen uint64
+
+	Stats CoreStats
+}
+
+// CoreStats aggregates per-core MMU behaviour (the DaxVM performance
+// monitor reads these).
+type CoreStats struct {
+	WalkCycles     uint64
+	Walks          uint64
+	PMemWalks      uint64
+	Faults         uint64
+	IPIsSent       uint64
+	IPIsReceived   uint64
+	ShootdownWait  uint64
+	DataReadBytes  uint64
+	DataWriteBytes uint64
+}
+
+type lineKey struct {
+	node *pt.Node
+	line int
+	gen  uint64
+}
+
+// Bind associates a sim thread with the core (the thread "runs on" it).
+func (c *Core) Bind(t *sim.Thread) { c.bound = t }
+
+// Unbind clears the association.
+func (c *Core) Unbind() { c.bound = nil }
+
+// Bound returns the running thread, if any.
+func (c *Core) Bound() *sim.Thread { return c.bound }
+
+// TranslateResult describes the outcome of a translation attempt.
+type TranslateResult uint8
+
+const (
+	// TransOK: translation present with sufficient permission.
+	TransOK TranslateResult = iota
+	// TransNotPresent: no valid leaf entry — demand fault.
+	TransNotPresent
+	// TransNoWrite: present but write attempted on read-only mapping —
+	// permission (dirty-tracking) fault.
+	TransNoWrite
+)
+
+// Translate performs the hardware part of an access to va: TLB lookup,
+// page walk on miss (charging medium-dependent cycles), A/D bit updates
+// and TLB fill. The fault paths are the caller's (mm's) job.
+func (c *Core) Translate(t *sim.Thread, as *pt.AddressSpace, va mem.VirtAddr, write bool) (pt.Entry, TranslateResult) {
+	if e, ok := c.TLB.Lookup(va); ok {
+		if write && !e.Writable {
+			return e.PTE, TransNoWrite
+		}
+		if write && !e.PTE.Dirty() {
+			// Hardware re-walks to set the dirty bit; approximate with
+			// a short walk charge and update the cached entry.
+			c.chargeWalk(t, as, va, true)
+			e.PTE |= pt.BitDirty
+			c.setLeafBits(t, as, va, true)
+		}
+		return e.PTE, TransOK
+	}
+
+	entry, level, writable, present := c.walk(t, as, va)
+	if !present {
+		return 0, TransNotPresent
+	}
+	if write && !writable {
+		return entry, TransNoWrite
+	}
+	c.setLeafBits(t, as, va, write)
+	if write {
+		entry |= pt.BitDirty
+	}
+	if leaf, _ := as.LeafNode(va); leaf != nil && leaf.NoAD {
+		// DaxVM file tables drop A/D maintenance entirely: the hardware
+		// never needs the dirty-bit assist walk on these mappings, so
+		// cache the translation as already-dirty.
+		entry |= pt.BitDirty | pt.BitAccessed
+	}
+	c.TLB.Insert(va, entry, writable, level == pt.LevelPMD)
+	return entry, TransOK
+}
+
+// walk performs a charged page walk.
+func (c *Core) walk(t *sim.Thread, as *pt.AddressSpace, va mem.VirtAddr) (pt.Entry, int, bool, bool) {
+	entry, level, writable, ok := as.Lookup(va)
+	cycles := c.walkCost(as, va, level, ok)
+	t.Charge(cycles)
+	c.Stats.WalkCycles += cycles
+	c.Stats.Walks++
+	return entry, level, writable, ok
+}
+
+// chargeWalk charges a walk without resolving (dirty-bit re-walk).
+func (c *Core) chargeWalk(t *sim.Thread, as *pt.AddressSpace, va mem.VirtAddr, _ bool) {
+	_, level, _, ok := as.Lookup(va)
+	cycles := c.walkCost(as, va, level, ok)
+	t.Charge(cycles)
+	c.Stats.WalkCycles += cycles
+	c.Stats.Walks++
+}
+
+// walkCost computes the cycle cost of a walk resolving at the given level,
+// using the leaf node's medium and the PTE-line reuse cache.
+func (c *Core) walkCost(as *pt.AddressSpace, va mem.VirtAddr, level int, ok bool) uint64 {
+	if !ok {
+		// Aborted walk; upper levels only.
+		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM
+	}
+	if level >= pt.LevelPMD {
+		return cost.WalkHuge
+	}
+	leaf, idx := as.LeafNode(va)
+	if leaf == nil {
+		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM
+	}
+	hot := c.touchPTELine(leaf, idx/mem.PTEsPerCacheLine)
+	if leaf.Medium == mem.PMem {
+		c.Stats.PMemWalks++
+		if hot {
+			return cost.WalkUpperLevels + cost.WalkPTECachedPMem
+		}
+		return cost.WalkUpperLevels + cost.WalkPTEMissPMem
+	}
+	if hot {
+		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM
+	}
+	return cost.WalkUpperLevels + cost.WalkPTEMissDRAM
+}
+
+// touchPTELine records a PTE cache-line touch, reporting whether it was
+// already warm.
+func (c *Core) touchPTELine(node *pt.Node, line int) bool {
+	k := lineKey{node, line, c.pteLineGen}
+	if _, ok := c.pteLines[k]; ok {
+		return true
+	}
+	if len(c.pteOrder) >= pteLineCacheSize {
+		victim := c.pteOrder[0]
+		c.pteOrder = c.pteOrder[1:]
+		delete(c.pteLines, victim)
+	}
+	c.pteLines[k] = struct{}{}
+	c.pteOrder = append(c.pteOrder, k)
+	return false
+}
+
+// DropPTELines invalidates the PTE-line reuse cache (after table
+// migration or teardown the old lines are dead).
+func (c *Core) DropPTELines() {
+	c.pteLineGen++
+	c.pteLines = make(map[lineKey]struct{}, pteLineCacheSize)
+	c.pteOrder = c.pteOrder[:0]
+}
+
+// setLeafBits sets accessed (and dirty on write) bits on the leaf entry
+// unless the owning node opts out (DaxVM file tables drop A/D upkeep).
+func (c *Core) setLeafBits(t *sim.Thread, as *pt.AddressSpace, va mem.VirtAddr, write bool) {
+	leaf, idx := as.LeafNode(va)
+	if leaf == nil || leaf.NoAD {
+		return
+	}
+	e := leaf.Entries[idx]
+	ne := e | pt.BitAccessed
+	if write {
+		ne |= pt.BitDirty
+	}
+	if ne != e {
+		leaf.SetEntry(t, idx, ne)
+	}
+}
+
+// --- shootdowns -------------------------------------------------------------
+
+// ShootdownKind selects the invalidation applied on targets.
+type ShootdownKind uint8
+
+const (
+	// ShootPages invalidates an explicit page list.
+	ShootPages ShootdownKind = iota
+	// ShootRange invalidates a VA range.
+	ShootRange
+	// ShootFull flushes the whole TLB.
+	ShootFull
+)
+
+// Shootdown performs a TLB shootdown from the calling thread's core to the
+// target cores: the initiator also invalidates locally, sends IPIs, and
+// waits for all acknowledgements; each running target is charged the
+// handler cost. This is the inherently non-scalable operation that
+// DaxVM's asynchronous batched unmapping amortizes.
+func (s *Set) Shootdown(t *sim.Thread, initiator *Core, targets []*Core, kind ShootdownKind, pages []mem.VirtAddr, start, end mem.VirtAddr) {
+	t.Yield() // synchronization point: remote clocks are examined
+	// Local invalidation.
+	applyInval(initiator.TLB, kind, pages, start, end)
+	switch kind {
+	case ShootPages:
+		t.Charge(cost.TLBInvlpgLocal * uint64(len(pages)))
+	case ShootRange:
+		t.Charge(cost.TLBInvlpgLocal * uint64((end-start)/mem.PageSize))
+	case ShootFull:
+		t.Charge(cost.TLBFlushLocal)
+	}
+	if len(targets) == 0 {
+		return
+	}
+	initiator.Stats.IPIsSent++
+	t.Charge(cost.IPIBase + cost.IPIPerTarget*uint64(len(targets)))
+	remote := 0
+	for _, tc := range targets {
+		if tc == initiator {
+			continue
+		}
+		applyInval(tc.TLB, kind, pages, start, end)
+		tc.Stats.IPIsReceived++
+		remote++
+		if b := tc.bound; b != nil {
+			// The target handles the interrupt wherever it is in its
+			// own timeline; charge the handler there. The initiator's
+			// wait is modeled by the fixed acknowledgement latency
+			// below — NOT by the target's (possibly far-ahead) clock,
+			// which in the DES only reflects locally-buffered progress.
+			b.AddRemote(cost.IPITargetHandler)
+		}
+	}
+	if remote > 0 {
+		initiator.Stats.ShootdownWait += cost.IPIAckLatency
+		t.Charge(cost.IPIAckLatency)
+	}
+}
+
+func applyInval(tb *tlb.TLB, kind ShootdownKind, pages []mem.VirtAddr, start, end mem.VirtAddr) {
+	switch kind {
+	case ShootPages:
+		for _, p := range pages {
+			tb.InvalidatePage(p)
+		}
+	case ShootRange:
+		tb.InvalidateRange(start, end)
+	case ShootFull:
+		tb.FlushAll()
+	}
+}

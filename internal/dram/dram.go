@@ -1,0 +1,85 @@
+// Package dram models the volatile memory pool of the simulated machine.
+//
+// Unlike internal/pmem, DRAM contents need no persistence semantics and the
+// simulator does not route most user data through it (workload buffers are
+// plain Go slices). What the experiments DO need is accounting: how much
+// DRAM the kernel consumes for page tables, volatile DaxVM file tables and
+// page-cache metadata — the paper reports these as DaxVM's DRAM tax — plus
+// an allocation cost model.
+package dram
+
+import (
+	"fmt"
+
+	"daxvm/internal/cost"
+	"daxvm/internal/mem"
+	"daxvm/internal/sim"
+)
+
+// Pool is a volatile frame allocator.
+type Pool struct {
+	capacity uint64 // bytes
+	used     uint64
+	peak     uint64
+	next     mem.PFN
+	free     []mem.PFN
+
+	Stats Stats
+}
+
+// Stats aggregates pool activity.
+type Stats struct {
+	Allocs uint64
+	Frees  uint64
+}
+
+// New creates a pool of the given capacity in bytes.
+func New(capacity uint64) *Pool {
+	if capacity == 0 || !mem.IsAligned(capacity, mem.PageSize) {
+		panic(fmt.Sprintf("dram: bad capacity %d", capacity))
+	}
+	return &Pool{capacity: capacity}
+}
+
+// AllocFrame allocates one zeroed 4 KiB frame and returns its PFN.
+// The cycle cost models the buddy-allocator fast path plus zeroing from
+// the per-CPU free lists (mostly pre-zeroed in modern kernels).
+func (p *Pool) AllocFrame(t *sim.Thread) mem.PFN {
+	if p.used+mem.PageSize > p.capacity {
+		panic(fmt.Sprintf("dram: out of memory (capacity %d)", p.capacity))
+	}
+	p.used += mem.PageSize
+	if p.used > p.peak {
+		p.peak = p.used
+	}
+	p.Stats.Allocs++
+	t.Charge(cost.TableAlloc)
+	if n := len(p.free); n > 0 {
+		pfn := p.free[n-1]
+		p.free = p.free[:n-1]
+		return pfn
+	}
+	pfn := p.next
+	p.next++
+	return pfn
+}
+
+// FreeFrame returns a frame to the pool.
+func (p *Pool) FreeFrame(t *sim.Thread, pfn mem.PFN) {
+	if p.used < mem.PageSize {
+		panic("dram: free underflow")
+	}
+	p.used -= mem.PageSize
+	p.Stats.Frees++
+	p.free = append(p.free, pfn)
+	t.Charge(cost.KernelListOp)
+}
+
+// Used reports current usage in bytes.
+func (p *Pool) Used() uint64 { return p.used }
+
+// Peak reports the high-water mark in bytes.
+func (p *Pool) Peak() uint64 { return p.peak }
+
+// Capacity reports the configured capacity in bytes.
+func (p *Pool) Capacity() uint64 { return p.capacity }

@@ -1,0 +1,171 @@
+// Package agefs ages a simulated file-system image the way the Geriatrix
+// tool does for the DaxVM paper: it replays create/delete churn with the
+// Agrawal file-size profile (FAST '07 metadata study) until the requested
+// utilization, leaving the free-space extent list fragmented. Fragmented
+// free space is what breaks huge-page coverage for large files — the
+// pivotal variable in Figs. 1, 4, 5 and 9c.
+package agefs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"daxvm/internal/fs/vfs"
+	"daxvm/internal/sim"
+)
+
+// FS is the file-system surface the ager needs.
+type FS interface {
+	vfs.FS
+	// SetAgingMode skips data writes/zeroing during churn (layout changes
+	// stay real).
+	SetAgingMode(on bool)
+}
+
+// Config controls aging.
+type Config struct {
+	// Utilization is the target fraction of device space in use (the
+	// paper uses 70%).
+	Utilization float64
+	// ChurnRounds is how many delete/recreate rounds run after the fill
+	// phase; more rounds fragment more (the paper applies 100 TB of
+	// writes; rounds are our scaled-down knob).
+	ChurnRounds int
+	// ChurnFraction is the fraction of files replaced per round.
+	ChurnFraction float64
+	// Seed fixes the churn sequence.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's recipe at simulator scale.
+func DefaultConfig() Config {
+	return Config{Utilization: 0.70, ChurnRounds: 6, ChurnFraction: 0.35, Seed: 2022}
+}
+
+// agrawalBuckets approximates the Agrawal file-size distribution: heavily
+// skewed to small files with a long tail. Sizes in bytes with relative
+// weights.
+var agrawalBuckets = []struct {
+	size   uint64
+	weight int
+}{
+	{1 << 10, 8},
+	{2 << 10, 12},
+	{4 << 10, 18},
+	{8 << 10, 16},
+	{16 << 10, 13},
+	{32 << 10, 10},
+	{64 << 10, 8},
+	{128 << 10, 5},
+	{256 << 10, 4},
+	{512 << 10, 2},
+	{1 << 20, 2},
+	{4 << 20, 1},
+	{16 << 20, 1},
+}
+
+var totalWeight = func() int {
+	w := 0
+	for _, b := range agrawalBuckets {
+		w += b.weight
+	}
+	return w
+}()
+
+// sampleSize draws a file size from the profile.
+func sampleSize(rng *rand.Rand) uint64 {
+	r := rng.Intn(totalWeight)
+	for _, b := range agrawalBuckets {
+		r -= b.weight
+		if r < 0 {
+			// Jitter within the bucket so sizes are not all powers of 2.
+			return b.size + uint64(rng.Int63n(int64(b.size)))
+		}
+	}
+	return 4 << 10
+}
+
+// Report summarizes the aged image.
+type Report struct {
+	FilesLive   int
+	FreeExtents int
+	Utilization float64
+}
+
+// Age churns the image. It must run on a setup sim thread; callers should
+// reset device timing afterwards (the kernel package does this).
+func Age(t *sim.Thread, fs FS, cfg Config) (Report, error) {
+	fs.SetAgingMode(true)
+	defer fs.SetAgingMode(false)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	total := fs.FreeSpace() // empty image: total usable bytes
+	targetUsed := uint64(float64(total) * cfg.Utilization)
+
+	type liveFile struct {
+		path string
+		in   *vfs.Inode
+		size uint64
+	}
+	var files []liveFile
+	n := 0
+
+	createOne := func() error {
+		size := sampleSize(rng)
+		path := fmt.Sprintf("age/%08d", n)
+		n++
+		in, err := fs.Create(t, path)
+		if err != nil {
+			return err
+		}
+		if err := fs.Fallocate(t, in, 0, size); err != nil {
+			// Image full; shrink ambition.
+			fs.Unlink(t, path)
+			in.Deleted = true
+			fs.PutInode(t, in)
+			return err
+		}
+		files = append(files, liveFile{path, in, size})
+		return nil
+	}
+	deleteAt := func(i int) {
+		lf := files[i]
+		if err := fs.Unlink(t, lf.path); err == nil {
+			lf.in.Deleted = true
+			fs.PutInode(t, lf.in)
+		}
+		files[i] = files[len(files)-1]
+		files = files[:len(files)-1]
+	}
+	used := func() uint64 { return total - fs.FreeSpace() }
+
+	// Each round overfills the image well beyond the target and then
+	// deletes random victims back down to it. Overfilling consumes any
+	// large contiguous tail; trimming leaves free space as scattered
+	// holes the size of profile files — which is what decades of churn
+	// do to a real image (Geriatrix's stable state).
+	highWater := uint64(float64(total) * 0.95)
+	for round := 0; round <= cfg.ChurnRounds; round++ {
+		for used() < highWater {
+			if err := createOne(); err != nil {
+				break
+			}
+		}
+		kill := int(float64(len(files)) * cfg.ChurnFraction)
+		for i := 0; i < kill && len(files) > 0 && used() > targetUsed; i++ {
+			deleteAt(rng.Intn(len(files)))
+		}
+	}
+	// Final trim to the target utilization.
+	for used() > targetUsed && len(files) > 0 {
+		deleteAt(rng.Intn(len(files)))
+	}
+	return Report{
+		FilesLive:   len(files),
+		FreeExtents: fs.FreeExtentCount(),
+		Utilization: float64(used()) / float64(total),
+	}, nil
+}
+
+// newRng returns the profile-sampling RNG used by tests.
+func newRng() *rand.Rand { return rand.New(rand.NewSource(7)) }

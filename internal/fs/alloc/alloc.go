@@ -1,0 +1,295 @@
+// Package alloc implements the extent-based block allocator shared by the
+// ext4-DAX and NOVA models.
+//
+// Free space is a set of non-overlapping extents in a red-black tree.
+// Allocation carves from free extents starting at a rotating goal (like
+// ext4's per-group goal blocks); large requests prefer 2 MiB-aligned runs
+// so that fresh images yield huge-page-mappable files while aged images —
+// whose free list is shattered by churn — do not. Each free extent tracks
+// whether its blocks are known-zeroed, the state DaxVM's asynchronous
+// pre-zeroing maintains.
+package alloc
+
+import (
+	"fmt"
+
+	"daxvm/internal/cost"
+	"daxvm/internal/mem"
+	"daxvm/internal/rbtree"
+	"daxvm/internal/sim"
+)
+
+// BlocksPerHuge is the number of 4 KiB blocks in a 2 MiB huge page.
+const BlocksPerHuge = mem.HugeSize / mem.PageSize
+
+// Run is a contiguous physical block run handed out by the allocator.
+type Run struct {
+	Start  uint64 // physical block
+	Len    uint64 // blocks
+	Zeroed bool   // contents known to be zero
+}
+
+type freeExt struct {
+	len    uint64
+	zeroed bool
+}
+
+// Allocator manages the free space of one device.
+type Allocator struct {
+	tree   rbtree.Tree[freeExt] // keyed by start block
+	total  uint64
+	free   uint64
+	cursor uint64 // rotating goal
+
+	Stats Stats
+}
+
+// Stats counts allocator activity.
+type Stats struct {
+	Allocs       uint64
+	Frees        uint64
+	BlocksServed uint64
+}
+
+// New creates an allocator over [firstBlock, firstBlock+blocks), initially
+// one free extent. deviceZeroed marks the initial space as pre-zeroed
+// (fresh simulated media).
+func New(firstBlock, blocks uint64, deviceZeroed bool) *Allocator {
+	a := &Allocator{total: blocks, free: blocks, cursor: firstBlock}
+	a.tree.Insert(firstBlock, freeExt{len: blocks, zeroed: deviceZeroed})
+	return a
+}
+
+// FreeBlocks reports free block count.
+func (a *Allocator) FreeBlocks() uint64 { return a.free }
+
+// TotalBlocks reports managed block count.
+func (a *Allocator) TotalBlocks() uint64 { return a.total }
+
+// FreeExtentCount reports the number of free extents (fragmentation
+// proxy).
+func (a *Allocator) FreeExtentCount() int { return a.tree.Len() }
+
+// Alloc carves n blocks, returning the runs (possibly many on a
+// fragmented image). Charges allocator path cost. Returns nil if space is
+// insufficient.
+func (a *Allocator) Alloc(t *sim.Thread, n uint64) []Run {
+	if n == 0 {
+		return []Run{}
+	}
+	if n > a.free {
+		return nil
+	}
+	if t != nil {
+		t.Charge(cost.ExtentAllocBase)
+	}
+	var runs []Run
+	remaining := n
+	for remaining > 0 {
+		r, ok := a.allocOne(remaining)
+		if !ok {
+			// Should not happen given the free check; restore and fail.
+			for _, run := range runs {
+				a.insertFree(run.Start, run.Len, run.Zeroed)
+			}
+			return nil
+		}
+		runs = append(runs, r)
+		remaining -= r.Len
+		if t != nil {
+			t.Charge(cost.ExtentAllocPerExtent)
+		}
+	}
+	a.Stats.Allocs++
+	a.Stats.BlocksServed += n
+	return runs
+}
+
+// allocOne carves at most `want` blocks from one free extent.
+func (a *Allocator) allocOne(want uint64) (Run, bool) {
+	// Start searching at the cursor, wrapping once.
+	start, fe, ok := a.tree.Ceiling(a.cursor)
+	if !ok {
+		start, fe, ok = a.tree.Min()
+		if !ok {
+			return Run{}, false
+		}
+	}
+
+	// For huge-page-sized demand, prefer an extent that can supply an
+	// aligned 2 MiB run; scan a bounded window before settling.
+	if want >= BlocksPerHuge {
+		if r, found := a.alignedCarve(start, want); found {
+			return r, true
+		}
+	}
+
+	take := fe.len
+	if take > want {
+		take = want
+	}
+	a.carve(start, fe, start, take)
+	return Run{Start: start, Len: take, Zeroed: fe.zeroed}, true
+}
+
+// alignedCarve looks for a free extent (starting from key, wrapping) that
+// contains a 2 MiB-aligned run and carves up to want blocks from it.
+func (a *Allocator) alignedCarve(fromKey uint64, want uint64) (Run, bool) {
+	const window = 32 // extents examined before giving up
+	seen := 0
+	var res Run
+	found := false
+	scan := func(key uint64, fe freeExt) bool {
+		seen++
+		alignedStart := mem.AlignedUp(key, BlocksPerHuge)
+		if alignedStart < key+fe.len && key+fe.len-alignedStart >= BlocksPerHuge {
+			take := key + fe.len - alignedStart
+			if take > want {
+				take = want
+			}
+			a.carve(key, fe, alignedStart, take)
+			res = Run{Start: alignedStart, Len: take, Zeroed: fe.zeroed}
+			found = true
+			return false
+		}
+		return seen < window
+	}
+	a.tree.Ascend(fromKey, scan)
+	if !found && seen < window {
+		a.tree.Ascend(0, func(key uint64, fe freeExt) bool {
+			if key >= fromKey {
+				return false
+			}
+			return scan(key, fe)
+		})
+	}
+	return res, found
+}
+
+// carve removes [carveStart, carveStart+take) from the free extent at key.
+func (a *Allocator) carve(key uint64, fe freeExt, carveStart, take uint64) {
+	if carveStart < key || carveStart+take > key+fe.len {
+		panic(fmt.Sprintf("alloc: carve [%d,+%d) outside extent [%d,+%d)", carveStart, take, key, fe.len))
+	}
+	a.tree.Delete(key)
+	if carveStart > key {
+		a.tree.Insert(key, freeExt{len: carveStart - key, zeroed: fe.zeroed})
+	}
+	if end, feEnd := carveStart+take, key+fe.len; end < feEnd {
+		a.tree.Insert(end, freeExt{len: feEnd - end, zeroed: fe.zeroed})
+	}
+	a.free -= take
+	if a.cursor == key {
+		a.cursor = carveStart + take
+	}
+}
+
+// Free returns runs to the pool. Charges list costs to t if non-nil.
+func (a *Allocator) Free(t *sim.Thread, runs []Run) {
+	for _, r := range runs {
+		a.insertFree(r.Start, r.Len, r.Zeroed)
+		if t != nil {
+			t.Charge(cost.KernelListOp)
+		}
+	}
+	a.Stats.Frees++
+}
+
+// insertFree inserts a free extent, merging with equal-zeroed neighbours.
+func (a *Allocator) insertFree(start, n uint64, zeroed bool) {
+	if n == 0 {
+		return
+	}
+	a.free += n
+	// Merge with predecessor.
+	if pk, pv, ok := a.tree.Floor(start); ok {
+		if pk+pv.len > start {
+			panic(fmt.Sprintf("alloc: double free at block %d", start))
+		}
+		if pk+pv.len == start && pv.zeroed == zeroed {
+			a.tree.Delete(pk)
+			start, n = pk, n+pv.len
+		}
+	}
+	// Merge with successor.
+	if nk, nv, ok := a.tree.Ceiling(start + n); ok {
+		if nk < start+n {
+			panic(fmt.Sprintf("alloc: double free overlapping block %d", nk))
+		}
+		if nk == start+n && nv.zeroed == zeroed {
+			a.tree.Delete(nk)
+			n += nv.len
+		}
+	}
+	a.tree.Insert(start, freeExt{len: n, zeroed: zeroed})
+}
+
+// MarkAllZeroed marks every free extent as zeroed ("pre-zero in advance"
+// experiment setup).
+func (a *Allocator) MarkAllZeroed() {
+	type kv struct {
+		k uint64
+		v freeExt
+	}
+	var all []kv
+	a.tree.All(func(k uint64, v freeExt) bool { all = append(all, kv{k, v}); return true })
+	for _, e := range all {
+		e.v.zeroed = true
+		a.tree.Insert(e.k, e.v)
+	}
+	// Re-merge adjacent extents that differed only in zeroed-ness.
+	var merged []kv
+	a.tree.All(func(k uint64, v freeExt) bool {
+		if len(merged) > 0 {
+			last := &merged[len(merged)-1]
+			if last.k+last.v.len == k {
+				last.v.len += v.len
+				return true
+			}
+		}
+		merged = append(merged, kv{k, v})
+		return true
+	})
+	a.tree = rbtree.Tree[freeExt]{}
+	for _, e := range merged {
+		a.tree.Insert(e.k, e.v)
+	}
+}
+
+// ZeroedFreeBlocks counts free blocks currently marked zeroed.
+func (a *Allocator) ZeroedFreeBlocks() uint64 {
+	var n uint64
+	a.tree.All(func(_ uint64, v freeExt) bool {
+		if v.zeroed {
+			n += v.len
+		}
+		return true
+	})
+	return n
+}
+
+// CheckInvariants validates no overlap and conservation against expected
+// allocated blocks; used by property tests.
+func (a *Allocator) CheckInvariants() error {
+	var prevEnd uint64
+	var sum uint64
+	var err error
+	first := true
+	a.tree.All(func(k uint64, v freeExt) bool {
+		if !first && k < prevEnd {
+			err = fmt.Errorf("alloc: overlap at %d (prev end %d)", k, prevEnd)
+			return false
+		}
+		first = false
+		prevEnd = k + v.len
+		sum += v.len
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if sum != a.free {
+		return fmt.Errorf("alloc: free count %d != tree sum %d", a.free, sum)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeConservation(t *testing.T) {
+	a := New(0, 10000, true)
+	r1 := a.Alloc(nil, 100)
+	r2 := a.Alloc(nil, 250)
+	if got := a.FreeBlocks(); got != 10000-350 {
+		t.Fatalf("free = %d", got)
+	}
+	a.Free(nil, r1)
+	a.Free(nil, r2)
+	if a.FreeBlocks() != 10000 {
+		t.Fatalf("free after return = %d", a.FreeBlocks())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := New(0, 100, false)
+	if r := a.Alloc(nil, 101); r != nil {
+		t.Fatal("overcommit allowed")
+	}
+	r := a.Alloc(nil, 100)
+	if r == nil {
+		t.Fatal("full allocation failed")
+	}
+	if a.Alloc(nil, 1) != nil {
+		t.Fatal("allocated from empty pool")
+	}
+}
+
+func TestZeroedTrackingThroughSplitAndMerge(t *testing.T) {
+	a := New(0, 1000, true)
+	r := a.Alloc(nil, 100)
+	if !r[0].Zeroed {
+		t.Fatal("fresh blocks should be zeroed")
+	}
+	// Returning them unzeroed must not poison the rest.
+	r[0].Zeroed = false
+	a.Free(nil, r)
+	total := a.ZeroedFreeBlocks()
+	if total != 900 {
+		t.Fatalf("zeroed free = %d, want 900", total)
+	}
+	a.MarkAllZeroed()
+	if a.ZeroedFreeBlocks() != 1000 {
+		t.Fatalf("MarkAllZeroed left %d", a.ZeroedFreeBlocks())
+	}
+	if a.FreeExtentCount() != 1 {
+		t.Fatalf("extents after re-merge = %d", a.FreeExtentCount())
+	}
+}
+
+func TestAlignedCarveForHugeDemand(t *testing.T) {
+	a := New(3, 5000, true) // deliberately misaligned start
+	runs := a.Alloc(nil, BlocksPerHuge*2)
+	if runs == nil {
+		t.Fatal("alloc failed")
+	}
+	if runs[0].Start%BlocksPerHuge != 0 {
+		t.Fatalf("large allocation start %d not 2MiB aligned", runs[0].Start)
+	}
+}
+
+func TestFragmentedImageYieldsManyRuns(t *testing.T) {
+	a := New(0, 20000, true)
+	rng := rand.New(rand.NewSource(3))
+	// Churn: exhaust the pool with small allocations, then free every
+	// other one so free space is only scattered holes.
+	var held [][]Run
+	for {
+		n := uint64(1 + rng.Intn(16))
+		r := a.Alloc(nil, n)
+		if r == nil {
+			break
+		}
+		held = append(held, r)
+	}
+	for i := 0; i < len(held); i += 2 {
+		a.Free(nil, held[i])
+	}
+	big := a.Alloc(nil, 4000)
+	if big == nil {
+		t.Fatal("large alloc failed on fragmented image")
+	}
+	if len(big) < 5 {
+		t.Fatalf("fragmented image gave %d runs, expected many", len(big))
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := New(0, 100, false)
+	r := a.Alloc(nil, 10)
+	a.Free(nil, r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free not detected")
+		}
+	}()
+	a.Free(nil, r)
+}
+
+// Property: any interleaving of allocs and frees preserves non-overlap and
+// block conservation, and allocated runs never overlap each other.
+func TestQuickAllocatorInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const total = 4096
+		a := New(0, total, true)
+		type slot struct{ runs []Run }
+		var live []slot
+		liveBlocks := uint64(0)
+		owned := map[uint64]bool{}
+		for op := 0; op < 400; op++ {
+			if rng.Intn(2) == 0 {
+				n := uint64(1 + rng.Intn(64))
+				runs := a.Alloc(nil, n)
+				if runs == nil {
+					continue
+				}
+				for _, r := range runs {
+					for b := r.Start; b < r.Start+r.Len; b++ {
+						if owned[b] {
+							return false // overlap with live allocation
+						}
+						owned[b] = true
+					}
+					liveBlocks += r.Len
+				}
+				live = append(live, slot{runs})
+			} else if len(live) > 0 {
+				i := rng.Intn(len(live))
+				for _, r := range live[i].runs {
+					for b := r.Start; b < r.Start+r.Len; b++ {
+						delete(owned, b)
+					}
+					liveBlocks -= r.Len
+				}
+				a.Free(nil, live[i].runs)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			if a.FreeBlocks() != total-liveBlocks {
+				return false
+			}
+		}
+		return a.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

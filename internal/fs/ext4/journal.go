@@ -1,0 +1,85 @@
+package ext4
+
+import (
+	"daxvm/internal/cost"
+	"daxvm/internal/mem"
+	"daxvm/internal/pmem"
+	"daxvm/internal/sim"
+)
+
+// Journal models jbd2: metadata updates join a running transaction;
+// commits write the log to media and fence. There is one journal per file
+// system, so concurrent committers serialize — the contention behind the
+// aged-image MAP_SYNC collapse in Fig. 9c.
+type Journal struct {
+	dev *pmem.Device
+	mu  *sim.Mutex
+
+	logHead mem.PhysAddr
+	logSize uint64
+	logOff  uint64
+
+	pendingBlocks uint64
+	commitHooks   []func(t *sim.Thread)
+
+	Stats JournalStats
+}
+
+// JournalStats counts journal activity.
+type JournalStats struct {
+	Begins  uint64
+	Commits uint64
+	Blocks  uint64
+}
+
+// NewJournal creates a journal whose log area is [head, head+size) on dev.
+func NewJournal(dev *pmem.Device, head mem.PhysAddr, size uint64) *Journal {
+	return &Journal{dev: dev, mu: sim.NewMutex(cost.SchedWakeup), logHead: head, logSize: size}
+}
+
+// Begin starts (or joins) the running transaction.
+func (j *Journal) Begin(t *sim.Thread) {
+	j.Stats.Begins++
+	t.Charge(cost.JournalBegin)
+}
+
+// AddMeta records n dirty metadata blocks in the running transaction.
+func (j *Journal) AddMeta(t *sim.Thread, n uint64) {
+	j.pendingBlocks += n
+	j.Stats.Blocks += n
+	t.Charge(cost.JournalAddPerBlock * n)
+}
+
+// OnCommit registers fn to run inside every commit while the journal lock
+// is held (DaxVM persistent file tables fence their PTE flushes here).
+func (j *Journal) OnCommit(fn func(t *sim.Thread)) {
+	j.commitHooks = append(j.commitHooks, fn)
+}
+
+// Commit forces the running transaction to media. It serializes on the
+// journal lock, writes the pending metadata blocks to the log with
+// nt-stores and fences.
+func (j *Journal) Commit(t *sim.Thread) {
+	j.mu.Lock(t, cost.SemAcquireFast)
+	n := j.pendingBlocks
+	j.pendingBlocks = 0
+	t.Charge(cost.JournalCommit)
+	if n > 0 {
+		bytes := n * mem.PageSize
+		if j.logOff+bytes > j.logSize {
+			j.logOff = 0
+		}
+		// The log write consumes real device write bandwidth.
+		j.dev.StreamNT(t, j.logHead+mem.PhysAddr(j.logOff), bytes)
+		j.logOff += bytes
+	}
+	for _, fn := range j.commitHooks {
+		fn(t)
+	}
+	j.dev.Fence(t)
+	j.Stats.Commits++
+	j.mu.Unlock(t, cost.SemReleaseFast)
+}
+
+// Pending reports uncommitted metadata blocks.
+func (j *Journal) Pending() uint64 { return j.pendingBlocks }

@@ -1,0 +1,560 @@
+// Package kernel assembles the simulated machine: PMem device, cores,
+// DRAM pool, a mounted file system (ext4-DAX or NOVA, optionally aged),
+// the DaxVM extension, processes with their memory managers, and a
+// POSIX-ish system-call surface that charges user/kernel crossing costs.
+package kernel
+
+import (
+	"fmt"
+
+	"daxvm/internal/core"
+	"daxvm/internal/cost"
+	"daxvm/internal/cpu"
+	"daxvm/internal/dram"
+	"daxvm/internal/fs/agefs"
+	"daxvm/internal/fs/alloc"
+	"daxvm/internal/fs/ext4"
+	"daxvm/internal/fs/nova"
+	"daxvm/internal/fs/vfs"
+	"daxvm/internal/mem"
+	"daxvm/internal/mm"
+	"daxvm/internal/pmem"
+	"daxvm/internal/sim"
+)
+
+// FSKind selects the file-system model.
+type FSKind string
+
+const (
+	// Ext4 is ext4-DAX (the paper's default).
+	Ext4 FSKind = "ext4-dax"
+	// Nova is NOVA in relaxed mode.
+	Nova FSKind = "nova"
+)
+
+// Config describes the machine.
+type Config struct {
+	// Cores is the number of hardware threads (the paper's socket has 16).
+	Cores int
+	// DeviceBytes is PMem capacity (default 4 GiB).
+	DeviceBytes uint64
+	// DRAMBytes is volatile capacity (default 8 GiB).
+	DRAMBytes uint64
+	// FS picks the file-system model (default ext4-DAX).
+	FS FSKind
+	// Age runs Geriatrix-style churn at boot.
+	Age bool
+	// AgeConfig overrides the default aging recipe.
+	AgeConfig *agefs.Config
+	// DaxVM enables the DaxVM extension.
+	DaxVM bool
+	// DaxVMConfig tunes it.
+	DaxVMConfig core.Config
+	// Prezero starts the asynchronous block pre-zeroing daemon
+	// (requires DaxVM).
+	Prezero bool
+	// Monitor starts the MMU performance monitor per process.
+	Monitor bool
+	// ICacheCapacity bounds the inode cache (default 64k).
+	ICacheCapacity int
+	// TrackPersistence enables crash simulation.
+	TrackPersistence bool
+	// HugePages toggles baseline DAX huge-page support (default on).
+	HugePagesOff bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 16
+	}
+	if c.DeviceBytes == 0 {
+		c.DeviceBytes = 4 << 30
+	}
+	if c.DRAMBytes == 0 {
+		c.DRAMBytes = 8 << 30
+	}
+	if c.FS == "" {
+		c.FS = Ext4
+	}
+	if c.ICacheCapacity == 0 {
+		c.ICacheCapacity = 1 << 16
+	}
+	return c
+}
+
+// MountedFS is the common surface of both FS models.
+type MountedFS interface {
+	vfs.FS
+	SetAgingMode(on bool)
+	SetHooks(h *vfs.Hooks)
+	SetTrustZeroed(on bool)
+}
+
+// Kernel is the booted machine.
+type Kernel struct {
+	Cfg    Config
+	Engine *sim.Engine
+	Dev    *pmem.Device
+	Cpus   *cpu.Set
+	Pool   *dram.Pool
+	FS     MountedFS
+	ICache *vfs.ICache
+	Dax    *core.DaxVM
+
+	AgeReport agefs.Report
+
+	procs []*Proc
+}
+
+// Boot builds the machine, formats (and optionally ages) the image, and
+// wires DaxVM.
+func Boot(cfg Config) *Kernel {
+	cfg = cfg.withDefaults()
+	k := &Kernel{
+		Cfg:    cfg,
+		Engine: sim.New(),
+		Dev:    pmem.New(pmem.Config{Size: cfg.DeviceBytes, TrackPersistence: cfg.TrackPersistence}),
+		Cpus:   cpu.NewSet(cfg.Cores),
+		Pool:   dram.New(cfg.DRAMBytes),
+	}
+
+	switch cfg.FS {
+	case Nova:
+		f := nova.Mkfs(nova.Config{Dev: k.Dev})
+		k.FS = &novaFS{f}
+	default:
+		f := ext4.Mkfs(ext4.Config{Dev: k.Dev, JournalBytes: 128 << 20})
+		k.FS = &ext4FS{f}
+	}
+
+	var hooks *vfs.Hooks
+	if cfg.DaxVM {
+		k.Dax = core.New(cfg.DaxVMConfig, k.Dev, k.Pool, k.Cpus, k.allocator(), k.releaser())
+		hooks = k.Dax.Hooks(cfg.Prezero)
+		k.FS.SetHooks(hooks)
+		if cfg.Prezero {
+			k.Dax.StartPrezero(k.Engine, cfg.Cores-1)
+			k.FS.SetTrustZeroed(true)
+		}
+	}
+	k.ICache = vfs.NewICache(k.FS, cfg.ICacheCapacity, hooks)
+
+	if cfg.Age {
+		ac := agefs.DefaultConfig()
+		if cfg.AgeConfig != nil {
+			ac = *cfg.AgeConfig
+		}
+		setup := sim.New()
+		setup.Go("ager", 0, 0, func(t *sim.Thread) {
+			rep, err := agefs.Age(t, agingSurface{k.FS}, ac)
+			if err != nil {
+				panic(err)
+			}
+			k.AgeReport = rep
+		})
+		setup.Run()
+		k.Dev.ResetTiming()
+	}
+	return k
+}
+
+// Setup runs fn on a dedicated setup engine thread (corpus creation etc.)
+// and resets device timing afterwards so measurement starts clean.
+func (k *Kernel) Setup(fn func(t *sim.Thread)) {
+	e := sim.New()
+	e.Go("setup", 0, 0, fn)
+	e.Run()
+	k.Dev.ResetTiming()
+}
+
+// Run executes the main engine until all spawned workload threads finish,
+// returning the final virtual time in cycles.
+func (k *Kernel) Run() uint64 { return k.Engine.Run() }
+
+// allocator exposes the data-block allocator for DaxVM metadata.
+func (k *Kernel) allocator() *alloc.Allocator {
+	switch f := k.FS.(type) {
+	case *ext4FS:
+		return f.FS.Allocator()
+	case *novaFS:
+		return f.FS.Allocator()
+	}
+	panic("kernel: unknown FS")
+}
+
+func (k *Kernel) releaser() core.ZeroReleaser {
+	switch f := k.FS.(type) {
+	case *ext4FS:
+		return f.FS
+	case *novaFS:
+		return f.FS
+	}
+	panic("kernel: unknown FS")
+}
+
+// Proc is a simulated process.
+type Proc struct {
+	K   *Kernel
+	MM  *mm.MM
+	Dax *core.Proc
+
+	fds    map[int]*FileDesc
+	nextFD int
+}
+
+// FileDesc is an open file description.
+type FileDesc struct {
+	In  *vfs.Inode
+	Pos uint64
+}
+
+// NewProc creates a process able to run on every core of the machine.
+func (k *Kernel) NewProc() *Proc {
+	p := &Proc{K: k, fds: make(map[int]*FileDesc), nextFD: 3}
+	p.MM = mm.New(k.Pool, k.FS, k.Cpus)
+	if k.Cfg.HugePagesOff {
+		p.MM.HugePagesEnabled = false
+	}
+	for _, c := range k.Cpus.Cores {
+		p.MM.RunOn(c)
+	}
+	if k.Dax != nil {
+		p.Dax = k.Dax.NewProc(p.MM)
+		if k.Cfg.Monitor {
+			core.NewMonitor(p.Dax, k.Engine, 0)
+		}
+	}
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// Spawn starts a workload thread of this process pinned to a core.
+func (p *Proc) Spawn(name string, coreID int, start uint64, fn func(t *sim.Thread, c *cpu.Core)) {
+	c := p.K.Cpus.Cores[coreID]
+	p.K.Engine.Go(name, coreID, start, func(t *sim.Thread) {
+		c.Bind(t)
+		fn(t, c)
+	})
+}
+
+// --- system calls -----------------------------------------------------------
+
+func syscallEnter(t *sim.Thread) { t.Charge(cost.UserKernelCrossing + cost.SyscallDispatch) }
+func syscallExit(t *sim.Thread)  { t.Charge(cost.UserKernelCrossing) }
+
+// Open opens an existing file.
+func (p *Proc) Open(t *sim.Thread, path string) (int, error) {
+	syscallEnter(t)
+	defer syscallExit(t)
+	t.Charge(cost.OpenPath)
+	in, err := p.K.ICache.Open(t, path)
+	if err != nil {
+		return -1, err
+	}
+	t.Charge(cost.FDTableOp)
+	fd := p.nextFD
+	p.nextFD++
+	p.fds[fd] = &FileDesc{In: in}
+	return fd, nil
+}
+
+// Create makes and opens a new file.
+func (p *Proc) Create(t *sim.Thread, path string) (int, error) {
+	syscallEnter(t)
+	defer syscallExit(t)
+	t.Charge(cost.OpenPath)
+	in, err := p.K.ICache.Create(t, path)
+	if err != nil {
+		return -1, err
+	}
+	t.Charge(cost.FDTableOp)
+	fd := p.nextFD
+	p.nextFD++
+	p.fds[fd] = &FileDesc{In: in}
+	return fd, nil
+}
+
+// Close drops the descriptor.
+func (p *Proc) Close(t *sim.Thread, fd int) error {
+	syscallEnter(t)
+	defer syscallExit(t)
+	t.Charge(cost.CloseFixed)
+	f, ok := p.fds[fd]
+	if !ok {
+		return fmt.Errorf("kernel: bad fd %d", fd)
+	}
+	delete(p.fds, fd)
+	p.K.ICache.Put(t, f.In)
+	return nil
+}
+
+// Inode returns the inode behind fd (workload plumbing).
+func (p *Proc) Inode(fd int) *vfs.Inode { return p.fds[fd].In }
+
+// Read reads from the current position.
+func (p *Proc) Read(t *sim.Thread, fd int, buf []byte) (uint64, error) {
+	syscallEnter(t)
+	defer syscallExit(t)
+	t.Charge(cost.ReadWriteFixed)
+	f, ok := p.fds[fd]
+	if !ok {
+		return 0, fmt.Errorf("kernel: bad fd %d", fd)
+	}
+	n, err := p.K.FS.ReadAt(t, f.In, f.Pos, buf)
+	f.Pos += n
+	return n, err
+}
+
+// ReadAt reads at an absolute offset.
+func (p *Proc) ReadAt(t *sim.Thread, fd int, off uint64, buf []byte) (uint64, error) {
+	syscallEnter(t)
+	defer syscallExit(t)
+	t.Charge(cost.ReadWriteFixed)
+	f, ok := p.fds[fd]
+	if !ok {
+		return 0, fmt.Errorf("kernel: bad fd %d", fd)
+	}
+	return p.K.FS.ReadAt(t, f.In, off, buf)
+}
+
+// Append writes at end of file.
+func (p *Proc) Append(t *sim.Thread, fd int, data []byte) error {
+	syscallEnter(t)
+	defer syscallExit(t)
+	t.Charge(cost.ReadWriteFixed)
+	f, ok := p.fds[fd]
+	if !ok {
+		return fmt.Errorf("kernel: bad fd %d", fd)
+	}
+	return p.K.FS.Append(t, f.In, data)
+}
+
+// WriteAt overwrites existing bytes.
+func (p *Proc) WriteAt(t *sim.Thread, fd int, off uint64, data []byte) error {
+	syscallEnter(t)
+	defer syscallExit(t)
+	t.Charge(cost.ReadWriteFixed)
+	f, ok := p.fds[fd]
+	if !ok {
+		return fmt.Errorf("kernel: bad fd %d", fd)
+	}
+	return p.K.FS.WriteAt(t, f.In, off, data)
+}
+
+// Fallocate reserves blocks.
+func (p *Proc) Fallocate(t *sim.Thread, fd int, off, n uint64) error {
+	syscallEnter(t)
+	defer syscallExit(t)
+	f, ok := p.fds[fd]
+	if !ok {
+		return fmt.Errorf("kernel: bad fd %d", fd)
+	}
+	return p.K.FS.Fallocate(t, f.In, off, n)
+}
+
+// Ftruncate resizes.
+func (p *Proc) Ftruncate(t *sim.Thread, fd int, size uint64) error {
+	syscallEnter(t)
+	defer syscallExit(t)
+	f, ok := p.fds[fd]
+	if !ok {
+		return fmt.Errorf("kernel: bad fd %d", fd)
+	}
+	return p.K.FS.Truncate(t, f.In, size)
+}
+
+// Fsync commits the file.
+func (p *Proc) Fsync(t *sim.Thread, fd int) error {
+	syscallEnter(t)
+	defer syscallExit(t)
+	f, ok := p.fds[fd]
+	if !ok {
+		return fmt.Errorf("kernel: bad fd %d", fd)
+	}
+	p.K.FS.Fsync(t, f.In)
+	return nil
+}
+
+// Unlink removes a file.
+func (p *Proc) Unlink(t *sim.Thread, path string) error {
+	syscallEnter(t)
+	defer syscallExit(t)
+	ino, err := p.K.FS.LookupPath(t, path)
+	if err != nil {
+		return err
+	}
+	if err := p.K.FS.Unlink(t, path); err != nil {
+		return err
+	}
+	if in, ok := p.K.ICache.Get(ino); ok {
+		in.Deleted = true
+		if in.Refs == 0 {
+			// Nothing holds it: reclaim now via a ref cycle.
+			in.Refs = 1
+			p.K.ICache.Put(t, in)
+		}
+	}
+	return nil
+}
+
+// Mmap is the POSIX mmap(2) path.
+func (p *Proc) Mmap(t *sim.Thread, c *cpu.Core, fd int, off, length uint64, perm mem.Perm, flags mm.MapFlags) (mem.VirtAddr, error) {
+	syscallEnter(t)
+	defer syscallExit(t)
+	f, ok := p.fds[fd]
+	if !ok {
+		return 0, fmt.Errorf("kernel: bad fd %d", fd)
+	}
+	f.In.Refs++ // the mapping holds the inode
+	va, err := p.MM.Mmap(t, c, f.In, off, length, perm, flags)
+	if err != nil {
+		f.In.Refs--
+	}
+	return va, err
+}
+
+// Munmap is munmap(2).
+func (p *Proc) Munmap(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, length uint64) error {
+	syscallEnter(t)
+	defer syscallExit(t)
+	// Identify the inode to drop the mapping reference.
+	p.MM.Sem.RLock(t, 0)
+	v := p.MM.FindVMA(t, va)
+	p.MM.Sem.RUnlock(t, 0)
+	err := p.MM.Munmap(t, c, va, length)
+	if err == nil && v != nil && v.Inode != nil {
+		p.K.ICache.Put(t, v.Inode)
+	}
+	return err
+}
+
+// Msync is msync(2).
+func (p *Proc) Msync(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, length uint64) error {
+	syscallEnter(t)
+	defer syscallExit(t)
+	return p.MM.Msync(t, c, va, length)
+}
+
+// Mprotect is mprotect(2).
+func (p *Proc) Mprotect(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, length uint64, perm mem.Perm) error {
+	syscallEnter(t)
+	defer syscallExit(t)
+	if p.Dax != nil {
+		p.MM.Sem.RLock(t, 0)
+		v := p.MM.FindVMA(t, va)
+		p.MM.Sem.RUnlock(t, 0)
+		if v != nil && v.DaxVM {
+			return p.Dax.Mprotect(t, c, va, length, perm)
+		}
+	}
+	return p.MM.Mprotect(t, c, va, length, perm)
+}
+
+// DaxvmMmap is daxvm_mmap(2).
+func (p *Proc) DaxvmMmap(t *sim.Thread, c *cpu.Core, fd int, off, length uint64, perm mem.Perm, flags core.Flags) (mem.VirtAddr, error) {
+	syscallEnter(t)
+	defer syscallExit(t)
+	if p.Dax == nil {
+		return 0, fmt.Errorf("kernel: DaxVM not enabled")
+	}
+	f, ok := p.fds[fd]
+	if !ok {
+		return 0, fmt.Errorf("kernel: bad fd %d", fd)
+	}
+	f.In.Refs++
+	va, err := p.Dax.Mmap(t, c, f.In, off, length, perm, flags)
+	if err != nil {
+		f.In.Refs--
+	}
+	return va, err
+}
+
+// DaxvmMunmap is daxvm_munmap(2).
+func (p *Proc) DaxvmMunmap(t *sim.Thread, c *cpu.Core, va mem.VirtAddr) error {
+	syscallEnter(t)
+	defer syscallExit(t)
+	p.MM.Sem.RLock(t, 0)
+	v := p.MM.FindVMA(t, va)
+	p.MM.Sem.RUnlock(t, 0)
+	err := p.Dax.Munmap(t, c, va)
+	if err == nil && v != nil && v.Inode != nil {
+		p.K.ICache.Put(t, v.Inode)
+	}
+	return err
+}
+
+// --- user-space access helpers ----------------------------------------------
+
+// AccessKind selects the data-cost model for touching mapped memory.
+type AccessKind uint8
+
+const (
+	// KindSum: streaming 8-byte reads straight from PMem (checksum, text
+	// search).
+	KindSum AccessKind = iota
+	// KindCopyOut: memcpy from PMem into a DRAM buffer/socket (AVX).
+	KindCopyOut
+	// KindNTWrite: non-temporal stores to PMem (user-managed
+	// durability).
+	KindNTWrite
+	// KindCachedWrite: regular stores (kernel-synced durability).
+	KindCachedWrite
+)
+
+func (k AccessKind) perPage() uint64 {
+	switch k {
+	case KindCopyOut:
+		return cost.UserCopyPMemPerPage
+	case KindNTWrite:
+		return cost.NTStorePMemPerPage
+	case KindCachedWrite:
+		return cost.CacheHitLatency * 64
+	default:
+		return cost.UserLoadPMemPerPage
+	}
+}
+
+func (k AccessKind) isWrite() bool { return k == KindNTWrite || k == KindCachedWrite }
+
+// AccessMapped touches [va, va+n) from user space with the kind's data
+// cost: translation, faults, payload cycles AND shared device-channel
+// occupancy (DAX loads/stores cross the DIMM channel even without a
+// kernel copy).
+func (p *Proc) AccessMapped(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, n uint64, kind AccessKind) error {
+	if err := p.MM.Access(t, c, va, n, kind.isWrite(), kind.perPage()); err != nil {
+		return err
+	}
+	dev := p.K.Dev
+	for rem := n; rem > 0; {
+		chunk := rem
+		if chunk > 64<<10 {
+			chunk = 64 << 10
+		}
+		if kind.isWrite() {
+			dev.BWWrite(t, chunk)
+		} else {
+			dev.BWRead(t, chunk)
+		}
+		rem -= chunk
+	}
+	return nil
+}
+
+// ConsumeBuffer models user code scanning an n-byte DRAM buffer it just
+// read() (hot in cache).
+func ConsumeBuffer(t *sim.Thread, n uint64) {
+	t.Charge(cost.UserLoadDRAMPerPage * (n + mem.PageSize - 1) / mem.PageSize)
+}
+
+// --- FS adapters --------------------------------------------------------------
+
+type ext4FS struct{ *ext4.FS }
+
+func (f *ext4FS) SetHooks(h *vfs.Hooks) { f.FS.SetHooks(h) }
+
+type novaFS struct{ *nova.FS }
+
+func (f *novaFS) SetHooks(h *vfs.Hooks) { f.FS.SetHooks(h) }
+
+// agingSurface adapts MountedFS to agefs.FS.
+type agingSurface struct{ MountedFS }

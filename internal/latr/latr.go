@@ -1,0 +1,123 @@
+// Package latr models LATR (Kumar et al., ASPLOS '18) as the paper's
+// asynchronous-unmap baseline: instead of IPI shootdowns, munmap enqueues
+// per-core invalidation messages that target cores apply lazily at their
+// next scheduler tick. The mechanism is general-purpose and volatile-
+// memory-safe, which is exactly why it is heavier than DaxVM's batched
+// detach: its shared state tracking serializes on its own lock, and every
+// core pays a sweep on every tick (§V-C: DaxVM with async unmapping alone
+// outperforms LATR by ~12%).
+package latr
+
+import (
+	"daxvm/internal/cost"
+	"daxvm/internal/cpu"
+	"daxvm/internal/mem"
+	"daxvm/internal/mm"
+	"daxvm/internal/sim"
+)
+
+// Costs specific to the LATR mechanism.
+const (
+	// stateEntryCost: allocating/queueing one LATR state entry per core.
+	stateEntryCost = 1_200
+	// sweepBaseCost: scanning the per-core lazy list at a tick.
+	sweepBaseCost = 900
+	// bookkeepingCost: LATR's per-munmap global state maintenance (the
+	// paper: "LATR's status tracking mechanisms induce contention on its
+	// own locks").
+	bookkeepingCost = 4_000
+	// TickInterval: scheduler-tick granularity at which lazy
+	// invalidations are applied (1 ms, LATR's design point).
+	TickInterval = 1000 * cost.CyclesPerUsec
+)
+
+// LATR is the machine-wide lazy-invalidation state.
+type LATR struct {
+	cpus *cpu.Set
+	// lock guards the global state table — the contention the paper
+	// observes ("LATR's status tracking mechanisms induce contention on
+	// its own locks").
+	lock sim.SpinLock
+
+	pending  [][]pendingInval // per core
+	lastTick []uint64
+
+	Stats Stats
+}
+
+// Stats counts LATR activity.
+type Stats struct {
+	Munmaps     uint64
+	Entries     uint64
+	Sweeps      uint64
+	Invalidated uint64
+}
+
+type pendingInval struct {
+	start, end mem.VirtAddr
+	tlb        int // target core
+}
+
+// New creates the LATR state for the machine.
+func New(cpus *cpu.Set) *LATR {
+	return &LATR{
+		cpus:     cpus,
+		pending:  make([][]pendingInval, len(cpus.Cores)),
+		lastTick: make([]uint64, len(cpus.Cores)),
+	}
+}
+
+// Munmap replaces mm.Munmap's shootdown with lazy per-core messages: the
+// PTEs are cleared synchronously (so the VMA can be reused is NOT true —
+// LATR delays VA reuse by one tick; the mm layer handles reuse windows)
+// but remote TLBs are invalidated at their next tick.
+func (l *LATR) Munmap(t *sim.Thread, m *mm.MM, core *cpu.Core, va mem.VirtAddr, length uint64) error {
+	t.Charge(cost.MunmapFixed)
+	end := va + mem.VirtAddr(mem.AlignedUp(length, mem.PageSize))
+	m.Sem.Lock(t, cost.SemAcquireFast)
+	if err := m.MunmapNoInval(t, core, va, end); err != nil {
+		m.Sem.Unlock(t, cost.SemReleaseFast)
+		return err
+	}
+	m.Sem.Unlock(t, cost.SemReleaseFast)
+
+	// Local invalidation is immediate.
+	core.TLB.InvalidateRange(va, end)
+	t.Charge(cost.TLBFlushLocal)
+
+	// Enqueue one state entry per remote core, under the global lock.
+	l.lock.Lock(t, cost.SpinLockAcquire)
+	l.Stats.Munmaps++
+	t.Charge(bookkeepingCost)
+	for _, c := range m.Cores() {
+		if c == core {
+			continue
+		}
+		l.pending[c.ID] = append(l.pending[c.ID], pendingInval{va, end, c.ID})
+		l.Stats.Entries++
+		t.Charge(stateEntryCost)
+	}
+	l.lock.Unlock(t, cost.SpinLockRelease)
+	return nil
+}
+
+// Tick applies lazy invalidations on the calling thread's core if a tick
+// boundary passed. Workload loops call it on every operation, mirroring
+// the scheduler-tick hook.
+func (l *LATR) Tick(t *sim.Thread, core *cpu.Core) {
+	if t.Now()-l.lastTick[core.ID] < TickInterval {
+		return
+	}
+	l.lock.Lock(t, cost.SpinLockAcquire)
+	l.lastTick[core.ID] = t.Now()
+	list := l.pending[core.ID]
+	l.pending[core.ID] = nil
+	l.lock.Unlock(t, cost.SpinLockRelease)
+	t.Charge(sweepBaseCost)
+	l.Stats.Sweeps++
+	for _, p := range list {
+		core.TLB.InvalidateRange(p.start, p.end)
+		t.Charge(cost.TLBInvlpgLocal)
+		l.Stats.Invalidated++
+	}
+}

@@ -1,0 +1,332 @@
+// Package pmem simulates a byte-addressable persistent-memory device
+// (Intel Optane DCPMM in AppDirect mode, as used by the DaxVM paper).
+//
+// The device provides real storage (host memory) addressed by simulated
+// physical addresses, plus the persistence semantics that PMem software
+// depends on: regular (cached) stores are not durable until flushed with
+// clwb+fence, while non-temporal stores become durable at the next fence.
+// A device-wide bandwidth token bucket makes heavy background writers
+// (DaxVM's pre-zeroing daemon) interfere with foreground traffic the way
+// they do on real Optane.
+package pmem
+
+import (
+	"fmt"
+
+	"daxvm/internal/cost"
+	"daxvm/internal/mem"
+	"daxvm/internal/sim"
+)
+
+// Device is one simulated PMem module set.
+type Device struct {
+	size uint64
+	data []byte
+
+	// Persistence tracking (enabled for crash tests): the set of dirty
+	// cache lines written with cached stores and not yet flushed, and the
+	// lines flushed but not yet fenced.
+	trackPersistence bool
+	dirtyLines       map[uint64]struct{} // line index -> written, unflushed
+	flushedLines     map[uint64]struct{} // clwb issued, fence pending
+
+	bw tokenBucket
+
+	Stats Stats
+}
+
+// Stats aggregates device traffic.
+type Stats struct {
+	BytesRead     uint64
+	BytesWritten  uint64
+	BytesZeroed   uint64
+	NTStores      uint64
+	CachedStores  uint64
+	Clwbs         uint64
+	Fences        uint64
+	ThrottleStall uint64 // cycles foreground ops stalled on the bucket
+}
+
+// Config controls device construction.
+type Config struct {
+	// Size is the device capacity in bytes.
+	Size uint64
+	// TrackPersistence enables per-line durability tracking for crash
+	// simulation tests (costly; off for benchmarks).
+	TrackPersistence bool
+}
+
+// New creates a device. Backing memory is allocated lazily by the host OS
+// (untouched pages cost nothing), so multi-GiB devices are cheap until
+// written.
+func New(cfg Config) *Device {
+	if cfg.Size == 0 || !mem.IsAligned(cfg.Size, mem.PageSize) {
+		panic(fmt.Sprintf("pmem: bad device size %d", cfg.Size))
+	}
+	d := &Device{
+		size:             cfg.Size,
+		data:             make([]byte, cfg.Size),
+		trackPersistence: cfg.TrackPersistence,
+	}
+	if cfg.TrackPersistence {
+		d.dirtyLines = make(map[uint64]struct{})
+		d.flushedLines = make(map[uint64]struct{})
+	}
+	d.bw.init()
+	return d
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() uint64 { return d.size }
+
+// Pages returns the device capacity in base pages.
+func (d *Device) Pages() uint64 { return d.size / mem.PageSize }
+
+// Bytes returns the raw backing slice for [addr, addr+n). The caller is
+// responsible for charging access costs; use the typed accessors where
+// possible.
+func (d *Device) Bytes(addr mem.PhysAddr, n uint64) []byte {
+	d.check(addr, n)
+	return d.data[addr : uint64(addr)+n]
+}
+
+func (d *Device) check(addr mem.PhysAddr, n uint64) {
+	if uint64(addr)+n > d.size {
+		panic(fmt.Sprintf("pmem: access [%#x,+%d) beyond device size %#x", addr, n, d.size))
+	}
+}
+
+// Read copies device content into buf, charging sequential-read cost and
+// consuming read bandwidth. Used for kernel copies (read(2) internals).
+func (d *Device) Read(t *sim.Thread, addr mem.PhysAddr, buf []byte) {
+	n := uint64(len(buf))
+	d.check(addr, n)
+	copy(buf, d.data[addr:uint64(addr)+n])
+	d.Stats.BytesRead += n
+	c := cost.CopyFromPMemPerPage * n / mem.PageSize
+	if c == 0 {
+		c = cost.PMemSeqLoadLat
+	}
+	t.Charge(c)
+	d.bw.consumeRead(t, n, &d.Stats)
+}
+
+// WriteNT writes buf with non-temporal stores: the data bypasses the CPU
+// cache and is durable after the next Fence.
+func (d *Device) WriteNT(t *sim.Thread, addr mem.PhysAddr, buf []byte) {
+	n := uint64(len(buf))
+	d.check(addr, n)
+	copy(d.data[addr:uint64(addr)+n], buf)
+	d.Stats.BytesWritten += n
+	d.Stats.NTStores++
+	if d.trackPersistence {
+		// NT stores go to the WC buffer; durable at next fence. Model
+		// them as flushed-awaiting-fence.
+		d.forEachLine(addr, n, func(l uint64) {
+			delete(d.dirtyLines, l)
+			d.flushedLines[l] = struct{}{}
+		})
+	}
+	c := cost.NTStorePMemPerPage * n / mem.PageSize
+	if c == 0 {
+		c = cost.NTStoreLineCost * (n + mem.CacheLineSize - 1) / mem.CacheLineSize
+	}
+	t.Charge(c)
+	d.bw.consumeWrite(t, n, &d.Stats)
+}
+
+// StreamNT charges an n-byte non-temporal store stream without
+// materializing content (journal log writes and other synthetic payloads
+// whose bytes the experiments never read back).
+func (d *Device) StreamNT(t *sim.Thread, addr mem.PhysAddr, n uint64) {
+	d.check(addr, n)
+	d.Stats.BytesWritten += n
+	d.Stats.NTStores++
+	c := cost.NTStorePMemPerPage * n / mem.PageSize
+	if c == 0 {
+		c = cost.NTStoreLineCost * (n + mem.CacheLineSize - 1) / mem.CacheLineSize
+	}
+	t.Charge(c)
+	d.bw.consumeWrite(t, n, &d.Stats)
+}
+
+// WriteCached writes buf with regular stores: fast, but NOT durable until
+// the lines are flushed (Flush) and fenced (Fence).
+func (d *Device) WriteCached(t *sim.Thread, addr mem.PhysAddr, buf []byte) {
+	n := uint64(len(buf))
+	d.check(addr, n)
+	copy(d.data[addr:uint64(addr)+n], buf)
+	d.Stats.BytesWritten += n
+	d.Stats.CachedStores++
+	if d.trackPersistence {
+		d.forEachLine(addr, n, func(l uint64) { d.dirtyLines[l] = struct{}{} })
+	}
+	// Cached stores complete at cache speed; the PMem cost is paid at
+	// flush time.
+	t.Charge(cost.CacheHitLatency * ((n + mem.CacheLineSize - 1) / mem.CacheLineSize) / 4)
+}
+
+// Zero zeroes [addr, addr+n) with non-temporal stores (security zeroing of
+// freshly allocated blocks, and DaxVM's pre-zero daemon).
+func (d *Device) Zero(t *sim.Thread, addr mem.PhysAddr, n uint64) {
+	d.check(addr, n)
+	clear(d.data[addr : uint64(addr)+n])
+	d.Stats.BytesZeroed += n
+	d.Stats.BytesWritten += n
+	if d.trackPersistence {
+		d.forEachLine(addr, n, func(l uint64) {
+			delete(d.dirtyLines, l)
+			d.flushedLines[l] = struct{}{}
+		})
+	}
+	c := cost.ZeroPMemPerPage * n / mem.PageSize
+	if c == 0 {
+		c = cost.NTStoreLineCost
+	}
+	t.Charge(c)
+	d.bw.consumeWrite(t, n, &d.Stats)
+}
+
+// Flush issues clwb for every cache line in [addr, addr+n): the write-back
+// is durable after the next Fence. Charges store+clwb bandwidth.
+func (d *Device) Flush(t *sim.Thread, addr mem.PhysAddr, n uint64) {
+	d.check(addr, n)
+	lines := (n + mem.CacheLineSize - 1) / mem.CacheLineSize
+	d.Stats.Clwbs += lines
+	if d.trackPersistence {
+		d.forEachLine(addr, n, func(l uint64) {
+			if _, ok := d.dirtyLines[l]; ok {
+				delete(d.dirtyLines, l)
+				d.flushedLines[l] = struct{}{}
+			}
+		})
+	}
+	t.Charge(cost.ClwbCost * lines)
+	d.bw.consumeWrite(t, lines*mem.CacheLineSize, &d.Stats)
+}
+
+// Fence drains pending flushes/NT stores (sfence); after it returns,
+// everything previously flushed is durable.
+func (d *Device) Fence(t *sim.Thread) {
+	d.Stats.Fences++
+	if d.trackPersistence {
+		for l := range d.flushedLines {
+			delete(d.flushedLines, l)
+			delete(d.dirtyLines, l)
+		}
+	}
+	t.Charge(cost.FenceCost)
+}
+
+func (d *Device) forEachLine(addr mem.PhysAddr, n uint64, fn func(line uint64)) {
+	first := uint64(addr) / mem.CacheLineSize
+	last := (uint64(addr) + n - 1) / mem.CacheLineSize
+	for l := first; l <= last; l++ {
+		fn(l)
+	}
+}
+
+// Crash simulates a power failure: every line written with cached stores
+// and not flushed+fenced is replaced with garbage (0xCC) so recovery code
+// that depends on unflushed data fails loudly. Requires TrackPersistence.
+func (d *Device) Crash() {
+	if !d.trackPersistence {
+		panic("pmem: Crash requires TrackPersistence")
+	}
+	for l := range d.dirtyLines {
+		off := l * mem.CacheLineSize
+		end := off + mem.CacheLineSize
+		if end > d.size {
+			end = d.size
+		}
+		for i := off; i < end; i++ {
+			d.data[i] = 0xCC
+		}
+	}
+	// Lines flushed-but-not-fenced may or may not survive; the paper's
+	// recovery protocols must not depend on them, so corrupt them too
+	// (the adversarial choice).
+	for l := range d.flushedLines {
+		off := l * mem.CacheLineSize
+		end := off + mem.CacheLineSize
+		if end > d.size {
+			end = d.size
+		}
+		for i := off; i < end; i++ {
+			d.data[i] = 0xCC
+		}
+	}
+	d.dirtyLines = make(map[uint64]struct{})
+	d.flushedLines = make(map[uint64]struct{})
+}
+
+// DirtyLineCount reports unflushed cached-store lines (crash tests).
+func (d *Device) DirtyLineCount() int { return len(d.dirtyLines) }
+
+// BWRead accounts shared-channel occupancy for DAX loads that bypass the
+// kernel (mapped access): the data still crosses the DIMM channel even
+// though no kernel copy happens.
+func (d *Device) BWRead(t *sim.Thread, n uint64) {
+	consume(t, &d.bw.readBusyUntil, n, cost.PMemDeviceReadBytesPerCycle, &d.Stats)
+}
+
+// BWWrite is the store-side analogue of BWRead.
+func (d *Device) BWWrite(t *sim.Thread, n uint64) {
+	consume(t, &d.bw.writeBusyUntil, n, cost.PMemDeviceWriteBytesPerCycle, &d.Stats)
+}
+
+// ResetTiming clears bandwidth-channel occupancy and statistics. Called
+// between an experiment's setup phase (image aging, corpus creation) and
+// its measurement phase so setup traffic does not bleed into results.
+func (d *Device) ResetTiming() {
+	d.bw = tokenBucket{}
+	d.Stats = Stats{}
+}
+
+// --- bandwidth token bucket -------------------------------------------------
+
+// tokenBucket serializes device bandwidth in virtual time. The issuing
+// thread's own charge already covers its per-thread transfer time; the
+// bucket additionally models the shared device channel: a transfer of n
+// bytes occupies the channel for n/deviceRate cycles ending no earlier
+// than previous transfers end. If the channel cannot complete the transfer
+// by the thread's current clock, the thread stalls for the difference —
+// which is exactly how background zeroing steals bandwidth from foreground
+// appends on real Optane.
+type tokenBucket struct {
+	writeBusyUntil uint64
+	readBusyUntil  uint64
+}
+
+func (b *tokenBucket) init() {}
+
+func consume(t *sim.Thread, busyUntil *uint64, n uint64, rate float64, st *Stats) {
+	// Synchronization point: the shared channel state must be touched in
+	// virtual-time order or threads that never block would serialize
+	// each other spuriously.
+	t.Yield()
+	dur := uint64(float64(n) / rate)
+	now := t.Now()
+	start := now - dur
+	if now < dur {
+		start = 0
+	}
+	if *busyUntil > start {
+		start = *busyUntil
+	}
+	finish := start + dur
+	*busyUntil = finish
+	if finish > now {
+		stall := finish - now
+		st.ThrottleStall += stall
+		t.Charge(stall)
+	}
+}
+
+func (b *tokenBucket) consumeWrite(t *sim.Thread, n uint64, st *Stats) {
+	consume(t, &b.writeBusyUntil, n, cost.PMemDeviceWriteBytesPerCycle, st)
+}
+
+func (b *tokenBucket) consumeRead(t *sim.Thread, n uint64, st *Stats) {
+	consume(t, &b.readBusyUntil, n, cost.PMemDeviceReadBytesPerCycle, st)
+}

@@ -1,0 +1,284 @@
+// Package radix implements a tagged radix tree modeled on the Linux page
+// cache radix tree (now xarray): entries are indexed by page offset and
+// carry per-entry tags (e.g. DIRTY) that propagate to interior nodes so
+// "find next dirty page from offset X" is O(height).
+//
+// The simulated kernel uses one tree per mapped file (address_space) to
+// track dirty pages for msync/fsync, exactly the structure whose update
+// cost DaxVM's nosync mode eliminates.
+package radix
+
+const (
+	bitsPerLevel = 6
+	fanout       = 1 << bitsPerLevel // 64, like Linux RADIX_TREE_MAP_SHIFT
+	levelMask    = fanout - 1
+)
+
+// Tag identifies a per-entry tag bit.
+type Tag uint8
+
+const (
+	// TagDirty marks pages dirtied through a mapping (PAGECACHE_TAG_DIRTY).
+	TagDirty Tag = iota
+	// TagTowrite marks pages picked for writeback (PAGECACHE_TAG_TOWRITE).
+	TagTowrite
+	numTags
+)
+
+type node[V any] struct {
+	slots  [fanout]any // *node[V] for interior, *leaf[V] for bottom level
+	tags   [numTags][fanout / 64]uint64
+	count  int // populated slots
+	shift  uint
+	parent *node[V]
+	offset int // index in parent
+}
+
+type leaf[V any] struct {
+	val V
+}
+
+// Tree maps uint64 indices to values with tags. The zero value is empty.
+type Tree[V any] struct {
+	root   *node[V]
+	height uint // shift of root level
+	size   int
+}
+
+// Len returns the number of entries.
+func (t *Tree[V]) Len() int { return t.size }
+
+func (n *node[V]) tagSet(tag Tag, off int) bool {
+	return n.tags[tag][off/64]&(1<<(off%64)) != 0
+}
+
+func (n *node[V]) setTag(tag Tag, off int) {
+	n.tags[tag][off/64] |= 1 << (off % 64)
+}
+
+func (n *node[V]) clearTag(tag Tag, off int) {
+	n.tags[tag][off/64] &^= 1 << (off % 64)
+}
+
+func (n *node[V]) anyTag(tag Tag) bool {
+	for _, w := range n.tags[tag] {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// grow raises the tree height until index fits.
+func (t *Tree[V]) grow(index uint64) {
+	if t.root == nil {
+		t.root = &node[V]{shift: 0}
+		t.height = 0
+	}
+	for index>>t.root.shift >= fanout {
+		newRoot := &node[V]{shift: t.root.shift + bitsPerLevel}
+		old := t.root
+		if old.count > 0 {
+			newRoot.slots[0] = old
+			newRoot.count = 1
+			old.parent = newRoot
+			old.offset = 0
+			for tg := Tag(0); tg < numTags; tg++ {
+				if old.anyTag(tg) {
+					newRoot.setTag(tg, 0)
+				}
+			}
+		}
+		t.root = newRoot
+		t.height = newRoot.shift
+	}
+}
+
+// Set stores val at index (untagged; previous tags at the index are kept).
+func (t *Tree[V]) Set(index uint64, val V) {
+	t.grow(index)
+	n := t.root
+	for n.shift > 0 {
+		off := int(index>>n.shift) & levelMask
+		child, _ := n.slots[off].(*node[V])
+		if child == nil {
+			child = &node[V]{shift: n.shift - bitsPerLevel, parent: n, offset: off}
+			n.slots[off] = child
+			n.count++
+		}
+		n = child
+	}
+	off := int(index) & levelMask
+	if n.slots[off] == nil {
+		n.count++
+		t.size++
+	}
+	n.slots[off] = &leaf[V]{val: val}
+}
+
+// Get returns the value at index.
+func (t *Tree[V]) Get(index uint64) (V, bool) {
+	var zero V
+	n := t.lookupLeafNode(index)
+	if n == nil {
+		return zero, false
+	}
+	lf, _ := n.slots[int(index)&levelMask].(*leaf[V])
+	if lf == nil {
+		return zero, false
+	}
+	return lf.val, true
+}
+
+func (t *Tree[V]) lookupLeafNode(index uint64) *node[V] {
+	if t.root == nil || index>>t.root.shift >= fanout {
+		return nil
+	}
+	n := t.root
+	for n.shift > 0 {
+		off := int(index>>n.shift) & levelMask
+		child, _ := n.slots[off].(*node[V])
+		if child == nil {
+			return nil
+		}
+		n = child
+	}
+	return n
+}
+
+// Delete removes the entry (and its tags) at index.
+func (t *Tree[V]) Delete(index uint64) bool {
+	n := t.lookupLeafNode(index)
+	if n == nil {
+		return false
+	}
+	off := int(index) & levelMask
+	if n.slots[off] == nil {
+		return false
+	}
+	n.slots[off] = nil
+	n.count--
+	t.size--
+	for tg := Tag(0); tg < numTags; tg++ {
+		if n.tagSet(tg, off) {
+			n.clearTag(tg, off)
+			propagateClear(n, tg)
+		}
+	}
+	// Prune empty nodes.
+	for n != nil && n.count == 0 && n.parent != nil {
+		p := n.parent
+		p.slots[n.offset] = nil
+		p.count--
+		for tg := Tag(0); tg < numTags; tg++ {
+			if p.tagSet(tg, n.offset) {
+				p.clearTag(tg, n.offset)
+				propagateClear(p, tg)
+			}
+		}
+		n = p
+	}
+	return true
+}
+
+// SetTag tags an existing entry; it reports whether the entry exists.
+func (t *Tree[V]) SetTag(index uint64, tag Tag) bool {
+	n := t.lookupLeafNode(index)
+	if n == nil {
+		return false
+	}
+	off := int(index) & levelMask
+	if n.slots[off] == nil {
+		return false
+	}
+	n.setTag(tag, off)
+	// Propagate up.
+	for n.parent != nil {
+		p := n.parent
+		if p.tagSet(tag, n.offset) {
+			break
+		}
+		p.setTag(tag, n.offset)
+		n = p
+	}
+	return true
+}
+
+// ClearTag removes a tag from the entry at index.
+func (t *Tree[V]) ClearTag(index uint64, tag Tag) {
+	n := t.lookupLeafNode(index)
+	if n == nil {
+		return
+	}
+	off := int(index) & levelMask
+	if !n.tagSet(tag, off) {
+		return
+	}
+	n.clearTag(tag, off)
+	propagateClear(n, tag)
+}
+
+func propagateClear[V any](n *node[V], tag Tag) {
+	for n.parent != nil && !n.anyTag(tag) {
+		p := n.parent
+		p.clearTag(tag, n.offset)
+		n = p
+	}
+}
+
+// Tagged reports whether the entry at index carries the tag.
+func (t *Tree[V]) Tagged(index uint64, tag Tag) bool {
+	n := t.lookupLeafNode(index)
+	if n == nil {
+		return false
+	}
+	return n.tagSet(tag, int(index)&levelMask)
+}
+
+// NextTagged returns the smallest index >= from whose entry carries tag.
+func (t *Tree[V]) NextTagged(from uint64, tag Tag) (uint64, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	if from>>t.root.shift >= fanout {
+		return 0, false
+	}
+	return nextTaggedIn(t.root, from, tag)
+}
+
+// nextTaggedIn searches node n for the smallest tagged index >= from,
+// where from is relative to the subtree rooted at n (below fanout<<shift).
+func nextTaggedIn[V any](n *node[V], from uint64, tag Tag) (uint64, bool) {
+	start := int(from >> n.shift)
+	for off := start; off < fanout; off++ {
+		if !n.tagSet(tag, off) {
+			continue
+		}
+		if n.shift == 0 {
+			return uint64(off), true // off >= start == from at leaf level
+		}
+		childFrom := uint64(0)
+		if off == start {
+			childFrom = from & ((uint64(1) << n.shift) - 1)
+		}
+		child := n.slots[off].(*node[V])
+		if idx, ok := nextTaggedIn(child, childFrom, tag); ok {
+			return uint64(off)<<n.shift | idx, true
+		}
+	}
+	return 0, false
+}
+
+// CountTagged counts tagged entries in [from, to).
+func (t *Tree[V]) CountTagged(from, to uint64, tag Tag) int {
+	count := 0
+	idx := from
+	for {
+		next, ok := t.NextTagged(idx, tag)
+		if !ok || next >= to {
+			return count
+		}
+		count++
+		idx = next + 1
+	}
+}

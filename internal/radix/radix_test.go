@@ -1,0 +1,168 @@
+package radix
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetDelete(t *testing.T) {
+	var tr Tree[string]
+	tr.Set(0, "zero")
+	tr.Set(63, "sixty-three")
+	tr.Set(64, "sixty-four")
+	tr.Set(1<<20, "big")
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for idx, want := range map[uint64]string{0: "zero", 63: "sixty-three", 64: "sixty-four", 1 << 20: "big"} {
+		if v, ok := tr.Get(idx); !ok || v != want {
+			t.Fatalf("Get(%d) = %q,%v", idx, v, ok)
+		}
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("Get(5) should miss")
+	}
+	if !tr.Delete(64) || tr.Delete(64) {
+		t.Fatal("Delete semantics")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if _, ok := tr.Get(1 << 20); !ok {
+		t.Fatal("unrelated entry vanished after delete")
+	}
+}
+
+func TestGrowKeepsEntries(t *testing.T) {
+	var tr Tree[int]
+	tr.Set(1, 1)
+	tr.Set(1<<30, 2) // forces multiple growth steps
+	if v, ok := tr.Get(1); !ok || v != 1 {
+		t.Fatal("entry lost during growth")
+	}
+	if v, ok := tr.Get(1 << 30); !ok || v != 2 {
+		t.Fatal("high entry missing")
+	}
+}
+
+func TestTags(t *testing.T) {
+	var tr Tree[int]
+	for i := uint64(0); i < 1000; i++ {
+		tr.Set(i, int(i))
+	}
+	tr.SetTag(100, TagDirty)
+	tr.SetTag(500, TagDirty)
+	tr.SetTag(999, TagDirty)
+	tr.SetTag(500, TagTowrite)
+
+	if !tr.Tagged(100, TagDirty) || tr.Tagged(101, TagDirty) {
+		t.Fatal("Tagged wrong")
+	}
+	if tr.Tagged(100, TagTowrite) {
+		t.Fatal("tags must be independent")
+	}
+
+	var dirty []uint64
+	idx := uint64(0)
+	for {
+		n, ok := tr.NextTagged(idx, TagDirty)
+		if !ok {
+			break
+		}
+		dirty = append(dirty, n)
+		idx = n + 1
+	}
+	want := []uint64{100, 500, 999}
+	if len(dirty) != 3 || dirty[0] != want[0] || dirty[1] != want[1] || dirty[2] != want[2] {
+		t.Fatalf("dirty = %v", dirty)
+	}
+
+	tr.ClearTag(500, TagDirty)
+	if n, ok := tr.NextTagged(101, TagDirty); !ok || n != 999 {
+		t.Fatalf("NextTagged(101) = %d,%v", n, ok)
+	}
+	if !tr.Tagged(500, TagTowrite) {
+		t.Fatal("clearing one tag cleared the other")
+	}
+
+	if c := tr.CountTagged(0, 1000, TagDirty); c != 2 {
+		t.Fatalf("CountTagged = %d", c)
+	}
+}
+
+func TestTagSetOnMissingEntry(t *testing.T) {
+	var tr Tree[int]
+	tr.Set(10, 1)
+	if tr.SetTag(11, TagDirty) {
+		t.Fatal("SetTag on missing entry should fail")
+	}
+	if ok := tr.SetTag(10, TagDirty); !ok {
+		t.Fatal("SetTag on present entry should succeed")
+	}
+}
+
+func TestDeleteClearsTagPropagation(t *testing.T) {
+	var tr Tree[int]
+	tr.Set(1<<12, 1)
+	tr.SetTag(1<<12, TagDirty)
+	tr.Delete(1 << 12)
+	if _, ok := tr.NextTagged(0, TagDirty); ok {
+		t.Fatal("tag survived entry deletion")
+	}
+}
+
+// Property: NextTagged agrees with a sorted-slice model under random
+// tagging, clearing and deletion.
+func TestQuickNextTagged(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Tree[int]
+		tagged := map[uint64]bool{}
+		present := map[uint64]bool{}
+		for i := 0; i < 300; i++ {
+			idx := uint64(rng.Intn(1 << 14))
+			switch rng.Intn(4) {
+			case 0:
+				tr.Set(idx, 1)
+				present[idx] = true
+			case 1:
+				if tr.SetTag(idx, TagDirty) {
+					tagged[idx] = true
+				}
+			case 2:
+				tr.ClearTag(idx, TagDirty)
+				delete(tagged, idx)
+			case 3:
+				tr.Delete(idx)
+				delete(present, idx)
+				delete(tagged, idx)
+			}
+		}
+		var sorted []uint64
+		for k := range tagged {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for q := 0; q < 50; q++ {
+			from := uint64(rng.Intn(1 << 14))
+			var want uint64
+			wantOK := false
+			for _, k := range sorted {
+				if k >= from {
+					want, wantOK = k, true
+					break
+				}
+			}
+			got, ok := tr.NextTagged(from, TagDirty)
+			if ok != wantOK || (ok && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package sim is a deterministic discrete-event simulation engine for
+// virtual-time multicore execution.
+//
+// Every simulated hardware thread is a goroutine, but exactly one runs at a
+// time: threads cooperatively hand a token to the runnable thread with the
+// smallest virtual clock. Pure-local work just advances the local clock
+// (Charge); only operations that touch shared state (locks, IPIs, wakeups)
+// are synchronization points. Because the scheduler always resumes the
+// minimum-clock runnable thread, shared-state events are processed in
+// virtual-time order, which makes lock-contention behaviour — the central
+// quantity in the DaxVM paper's scalability experiments — emerge from the
+// model rather than from a formula, while remaining fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Engine owns the virtual-time scheduler.
+type Engine struct {
+	ready    threadHeap
+	seq      uint64
+	live     int // non-daemon threads still running
+	threads  []*Thread
+	done     chan struct{}
+	stopping bool
+	maxClock uint64
+	panicVal any
+}
+
+// stopToken is panicked into parked daemon threads at shutdown.
+type stopToken struct{}
+
+// New creates an empty engine.
+func New() *Engine {
+	return &Engine{done: make(chan struct{})}
+}
+
+// Thread is one simulated hardware thread.
+type Thread struct {
+	e       *Engine
+	Name    string
+	Core    int
+	clock   uint64
+	wakeAt  uint64
+	seq     uint64
+	index   int // heap index, -1 when not queued
+	resume  chan struct{}
+	state   threadState
+	daemon  bool
+	started bool
+	fn      func(*Thread)
+
+	// blockedOn is a human-readable tag for deadlock dumps.
+	blockedOn string
+}
+
+type threadState uint8
+
+const (
+	stateReady threadState = iota
+	stateRunning
+	stateBlocked
+	stateExited
+)
+
+// Go registers a new simulated thread pinned to the given core, ready to
+// run at virtual time start. It may be called before Run or from within a
+// running thread (in which case start is clamped to the caller's clock by
+// the caller passing t.Now()).
+func (e *Engine) Go(name string, core int, start uint64, fn func(*Thread)) *Thread {
+	t := &Thread{
+		e:      e,
+		Name:   name,
+		Core:   core,
+		clock:  start,
+		wakeAt: start,
+		resume: make(chan struct{}),
+		index:  -1,
+		fn:     fn,
+	}
+	e.threads = append(e.threads, t)
+	e.live++
+	e.push(t)
+	return t
+}
+
+// GoDaemon registers a background thread that does not keep the simulation
+// alive: when the last non-daemon thread exits, daemons are torn down.
+func (e *Engine) GoDaemon(name string, core int, start uint64, fn func(*Thread)) *Thread {
+	t := e.Go(name, core, start, fn)
+	t.daemon = true
+	e.live--
+	return t
+}
+
+// Run executes the simulation until every non-daemon thread has exited.
+// It returns the largest virtual clock reached by any thread.
+func (e *Engine) Run() uint64 {
+	if e.live == 0 {
+		return 0
+	}
+	first := e.pop()
+	if first == nil {
+		panic("sim: no runnable thread")
+	}
+	first.state = stateRunning
+	first.resumeOrStart()
+	<-e.done
+	if e.panicVal != nil {
+		panic(e.panicVal)
+	}
+	return e.maxClock
+}
+
+// main is the goroutine body wrapping a thread function.
+func (t *Thread) main() {
+	<-t.resume // wait for first dispatch
+	completed := false
+	defer func() {
+		r := recover()
+		if _, ok := r.(stopToken); ok {
+			return // engine shutdown
+		}
+		if r == nil && completed {
+			return
+		}
+		if r == nil {
+			// The goroutine is unwinding via runtime.Goexit (e.g. a
+			// t.Fatalf inside a thread function). Surface it instead of
+			// hanging Run forever.
+			r = "sim: thread " + t.Name + " exited abnormally (runtime.Goexit — t.Fatalf inside a sim thread?)"
+		}
+		// Propagate the failure to Run() and unwind the whole
+		// simulation so tests can observe it.
+		t.e.panicVal = r
+		t.state = stateExited
+		t.e.shutdown()
+	}()
+	t.fn(t)
+	completed = true
+	t.exit()
+}
+
+func (t *Thread) exit() {
+	e := t.e
+	t.state = stateExited
+	if t.clock > e.maxClock {
+		e.maxClock = t.clock
+	}
+	if !t.daemon {
+		e.live--
+	}
+	if e.live == 0 {
+		e.shutdown()
+		return
+	}
+	e.dispatchFrom(t, false)
+}
+
+// shutdown tears down parked daemon goroutines and signals Run. It runs on
+// the goroutine of the last exiting non-daemon thread. Parked threads are
+// resumed; they observe stopping and unwind via a stopToken panic that
+// their main() recovers, so no goroutines leak across engine instances.
+func (e *Engine) shutdown() {
+	if e.stopping {
+		return
+	}
+	e.stopping = true
+	for _, t := range e.threads {
+		if t.state == stateExited || !t.started || t.state == stateRunning {
+			continue
+		}
+		t.resume <- struct{}{}
+	}
+	close(e.done)
+}
+
+// Now returns the thread's virtual clock in cycles.
+func (t *Thread) Now() uint64 { return t.clock }
+
+// Charge advances the thread's clock by c cycles of local work.
+func (t *Thread) Charge(c uint64) { t.clock += c }
+
+// SetClock is used by remote-charge mechanisms (IPIs). Only the running
+// thread may call it on another thread.
+func (t *Thread) AddRemote(c uint64) { t.clock += c }
+
+// Yield is a synchronization point: the thread re-enters the ready queue at
+// its current clock and resumes once it is the minimum-clock runnable
+// thread. Shared state must only be examined/mutated right after a Yield
+// (or while holding a sim lock) to preserve virtual-time ordering.
+func (t *Thread) Yield() {
+	e := t.e
+	t.wakeAt = t.clock
+	e.push(t)
+	e.dispatchFrom(t, true)
+}
+
+// SleepUntil parks the thread until virtual time tm.
+func (t *Thread) SleepUntil(tm uint64) {
+	if tm < t.clock {
+		tm = t.clock
+	}
+	t.wakeAt = tm
+	t.e.push(t)
+	t.e.dispatchFrom(t, true)
+}
+
+// Sleep parks the thread for d cycles.
+func (t *Thread) Sleep(d uint64) { t.SleepUntil(t.clock + d) }
+
+// Block parks the thread off the ready queue. Another thread must Wake it.
+// tag describes what it is waiting for (deadlock dumps).
+func (t *Thread) Block(tag string) {
+	t.blockedOn = tag
+	t.state = stateBlocked
+	t.e.dispatchFrom(t, true)
+	t.blockedOn = ""
+}
+
+// Wake makes a blocked thread runnable no earlier than virtual time at.
+// Must be called by the running thread.
+func (e *Engine) Wake(t *Thread, at uint64) {
+	if t.state != stateBlocked {
+		panic("sim: Wake of non-blocked thread " + t.Name)
+	}
+	if at < t.clock {
+		at = t.clock
+	}
+	t.wakeAt = at
+	e.push(t)
+}
+
+// dispatchFrom hands the token to the next runnable thread. If wait is
+// true the calling thread parks until re-dispatched; otherwise the caller
+// is exiting.
+func (e *Engine) dispatchFrom(t *Thread, wait bool) {
+	next := e.pop()
+	if next == nil {
+		if wait || e.live > 0 {
+			panic("sim: deadlock\n" + e.dump())
+		}
+		// Exiting last thread with nothing runnable and live==0 was
+		// handled in exit(); reaching here is a bug.
+		panic("sim: scheduler underflow")
+	}
+	if next == t {
+		// Fast path: we are still the minimum-clock thread.
+		if t.clock < t.wakeAt {
+			t.clock = t.wakeAt
+		}
+		t.state = stateRunning
+		return
+	}
+	next.state = stateRunning
+	if next.clock < next.wakeAt {
+		next.clock = next.wakeAt
+	}
+	next.resumeOrStart()
+	if !wait {
+		return
+	}
+	<-t.resume
+	if e.stopping {
+		panic(stopToken{})
+	}
+	t.state = stateRunning
+	if t.clock < t.wakeAt {
+		t.clock = t.wakeAt
+	}
+}
+
+// resumeOrStart resumes a parked thread, starting its goroutine lazily the
+// first time it is dispatched.
+func (t *Thread) resumeOrStart() {
+	if t.state == stateExited {
+		panic("sim: resuming exited thread")
+	}
+	if !t.started {
+		t.started = true
+		go t.main()
+	}
+	t.resume <- struct{}{}
+}
+
+// dump formats the scheduler state for deadlock diagnostics.
+func (e *Engine) dump() string {
+	var b strings.Builder
+	ts := append([]*Thread(nil), e.threads...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].seq < ts[j].seq })
+	for _, t := range ts {
+		st := "?"
+		switch t.state {
+		case stateReady:
+			st = "ready"
+		case stateRunning:
+			st = "running"
+		case stateBlocked:
+			st = "blocked on " + t.blockedOn
+		case stateExited:
+			st = "exited"
+		}
+		fmt.Fprintf(&b, "  %-24s core=%-3d clock=%-12d %s\n", t.Name, t.Core, t.clock, st)
+	}
+	return b.String()
+}
+
+// MaxClock reports the largest clock observed (valid after Run).
+func (e *Engine) MaxClock() uint64 { return e.maxClock }
+
+// Threads returns all registered threads (for core->thread lookups).
+func (e *Engine) Threads() []*Thread { return e.threads }
+
+// --- ready heap ------------------------------------------------------------
+
+type threadHeap struct{ items []*Thread }
+
+func (h *threadHeap) Len() int { return len(h.items) }
+func (h *threadHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.wakeAt != b.wakeAt {
+		return a.wakeAt < b.wakeAt
+	}
+	return a.seq < b.seq
+}
+func (h *threadHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+func (h *threadHeap) Push(x any) {
+	t := x.(*Thread)
+	t.index = len(h.items)
+	h.items = append(h.items, t)
+}
+func (h *threadHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	h.items = old[:n-1]
+	return t
+}
+
+func (e *Engine) push(t *Thread) {
+	e.seq++
+	t.seq = e.seq
+	t.state = stateReady
+	heap.Push(&e.ready, t)
+}
+
+func (e *Engine) pop() *Thread {
+	if e.ready.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&e.ready).(*Thread)
+}

@@ -1,0 +1,162 @@
+// Package tlb models a per-core translation lookaside buffer.
+//
+// Geometry loosely follows a Cascade Lake L2 STLB: a unified pool of 4 KiB
+// entries plus a smaller pool for 2 MiB entries, with FIFO replacement.
+// Full flushes use a generation counter so they are O(1), mirroring the
+// cheapness of a CR3 write relative to per-page invlpg — the asymmetry
+// DaxVM's batched unmapping exploits.
+package tlb
+
+import (
+	"daxvm/internal/mem"
+	"daxvm/internal/pt"
+)
+
+// Default capacities.
+const (
+	DefaultEntries4K = 1536
+	DefaultEntries2M = 32
+)
+
+// Entry is a cached translation.
+type Entry struct {
+	VA       mem.VirtAddr // page-aligned (4 KiB or 2 MiB)
+	PTE      pt.Entry
+	Writable bool // effective permission honoring upper levels
+	Huge     bool
+	gen      uint64
+}
+
+// TLB is one core's TLB.
+type TLB struct {
+	small map[mem.VirtAddr]*Entry
+	large map[mem.VirtAddr]*Entry
+	// FIFO rings for eviction.
+	orderSmall []mem.VirtAddr
+	orderLarge []mem.VirtAddr
+	capSmall   int
+	capLarge   int
+	gen        uint64
+
+	Stats Stats
+}
+
+// Stats counts TLB behaviour.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	FullFlush  uint64
+	PageInval  uint64
+	Insertions uint64
+}
+
+// New creates a TLB with default geometry.
+func New() *TLB { return NewSized(DefaultEntries4K, DefaultEntries2M) }
+
+// NewSized creates a TLB with explicit entry counts.
+func NewSized(small, large int) *TLB {
+	return &TLB{
+		small:    make(map[mem.VirtAddr]*Entry, small),
+		large:    make(map[mem.VirtAddr]*Entry, large),
+		capSmall: small,
+		capLarge: large,
+	}
+}
+
+// Lookup returns the cached translation for va.
+func (t *TLB) Lookup(va mem.VirtAddr) (*Entry, bool) {
+	if e, ok := t.small[va.PageDown()]; ok && e.gen == t.gen {
+		t.Stats.Hits++
+		return e, true
+	}
+	if e, ok := t.large[va.HugeDown()]; ok && e.gen == t.gen {
+		t.Stats.Hits++
+		return e, true
+	}
+	t.Stats.Misses++
+	return nil, false
+}
+
+// Insert caches a translation.
+func (t *TLB) Insert(va mem.VirtAddr, pte pt.Entry, writable, huge bool) {
+	t.Stats.Insertions++
+	if huge {
+		key := va.HugeDown()
+		if _, exists := t.large[key]; !exists {
+			t.evictIfFull(&t.orderLarge, t.large, t.capLarge)
+			t.orderLarge = append(t.orderLarge, key)
+		}
+		t.large[key] = &Entry{VA: key, PTE: pte, Writable: writable, Huge: true, gen: t.gen}
+		return
+	}
+	key := va.PageDown()
+	if _, exists := t.small[key]; !exists {
+		t.evictIfFull(&t.orderSmall, t.small, t.capSmall)
+		t.orderSmall = append(t.orderSmall, key)
+	}
+	t.small[key] = &Entry{VA: key, PTE: pte, Writable: writable, gen: t.gen}
+}
+
+func (t *TLB) evictIfFull(order *[]mem.VirtAddr, m map[mem.VirtAddr]*Entry, capacity int) {
+	for len(m) >= capacity && len(*order) > 0 {
+		victim := (*order)[0]
+		*order = (*order)[1:]
+		if e, ok := m[victim]; ok {
+			if e.gen != t.gen {
+				delete(m, victim) // stale, free the slot
+				continue
+			}
+			delete(m, victim)
+		}
+	}
+}
+
+// InvalidatePage drops the translation covering va (invlpg semantics:
+// both page sizes checked).
+func (t *TLB) InvalidatePage(va mem.VirtAddr) {
+	t.Stats.PageInval++
+	delete(t.small, va.PageDown())
+	delete(t.large, va.HugeDown())
+}
+
+// InvalidateRange drops all translations overlapping [start, end).
+func (t *TLB) InvalidateRange(start, end mem.VirtAddr) {
+	for va := start.PageDown(); va < end; va += mem.PageSize {
+		delete(t.small, va)
+	}
+	for va := start.HugeDown(); va < end; va += mem.HugeSize {
+		delete(t.large, va)
+	}
+}
+
+// FlushAll drops every translation (CR3 write) in O(1).
+func (t *TLB) FlushAll() {
+	t.Stats.FullFlush++
+	t.gen++
+	// Maps are lazily cleaned by generation checks; reset the rings when
+	// they grow stale to bound memory.
+	if len(t.orderSmall) > 4*t.capSmall {
+		t.small = make(map[mem.VirtAddr]*Entry, t.capSmall)
+		t.orderSmall = t.orderSmall[:0]
+	}
+	if len(t.orderLarge) > 4*t.capLarge {
+		t.large = make(map[mem.VirtAddr]*Entry, t.capLarge)
+		t.orderLarge = t.orderLarge[:0]
+	}
+}
+
+// Len reports live entries (generation-current).
+func (t *TLB) Len() int {
+	n := 0
+	for _, e := range t.small {
+		if e.gen == t.gen {
+			n++
+		}
+	}
+	for _, e := range t.large {
+		if e.gen == t.gen {
+			n++
+		}
+	}
+	return n
+}

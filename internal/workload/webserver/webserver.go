@@ -1,0 +1,102 @@
+// Package webserver models the paper's Apache mpm_event experiment:
+// worker threads serve static pages by mapping the page file, copying its
+// content into a socket buffer, and unmapping — an m(un)map-heavy
+// ephemeral pattern that collapses on mmap_sem (Fig. 8).
+package webserver
+
+import (
+	"math/rand"
+
+	"daxvm/internal/cost"
+	"daxvm/internal/cpu"
+	"daxvm/internal/kernel"
+	"daxvm/internal/latr"
+	"daxvm/internal/sim"
+	"daxvm/internal/workload/corpus"
+	"daxvm/internal/workload/wl"
+)
+
+// Config shapes the experiment.
+type Config struct {
+	// Threads is the number of server worker threads (1-16 in Fig. 8a).
+	Threads int
+	// PageBytes is the static page size (32 KiB default).
+	PageBytes uint64
+	// Pages is the number of distinct page files (the paper serves
+	// multiple pages to avoid always hitting the processor cache).
+	Pages int
+	// RequestsPerThread is the closed-loop request count.
+	RequestsPerThread int
+	// Iface selects the serving interface.
+	Iface wl.Iface
+	// Seed fixes the page-selection sequence.
+	Seed int64
+}
+
+// DefaultConfig mirrors Fig. 8a's setup at simulator scale.
+func DefaultConfig() Config {
+	return Config{
+		Threads:           16,
+		PageBytes:         32 << 10,
+		Pages:             256,
+		RequestsPerThread: 400,
+		Iface:             wl.Read,
+		Seed:              7,
+	}
+}
+
+// Result is the measured outcome.
+type Result struct {
+	Requests   uint64
+	Cycles     uint64  // virtual makespan
+	Throughput float64 // requests per virtual second
+	BytesMoved uint64
+}
+
+// Run boots the workload on an existing kernel. Page files are created in
+// a setup phase; the measurement spans only the serving loop.
+func Run(k *kernel.Kernel, cfg Config) Result {
+	proc := k.NewProc()
+	var paths []string
+	k.Setup(func(t *sim.Thread) {
+		paths = corpus.Fixed(t, proc, "htdocs", cfg.Pages, cfg.PageBytes)
+	})
+
+	var l *latr.LATR
+	if cfg.Iface.LATR {
+		l = latr.New(k.Cpus)
+	}
+
+	for w := 0; w < cfg.Threads; w++ {
+		w := w
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+		proc.Spawn("httpd", w, 0, func(t *sim.Thread, c *cpu.Core) {
+			env := &wl.Env{Proc: proc, LATR: l}
+			for r := 0; r < cfg.RequestsPerThread; r++ {
+				path := paths[rng.Intn(len(paths))]
+				// Serve: move page content into the socket. Mapped
+				// interfaces copy PMem->socket directly (zero copy);
+				// read(2) copies PMem->buffer, then buffer->socket.
+				n := env.ConsumeFileOnce(t, c, path, cfg.Iface, kernel.KindCopyOut)
+				if cfg.Iface.Syscall {
+					// Extra DRAM->socket copy that mapping avoids.
+					t.Charge(cost.CopyDRAMPerPage * (n + 4095) / 4096)
+				}
+				// Socket/connection handling beyond file access.
+				t.Charge(requestFixedWork)
+			}
+		})
+	}
+	cycles := k.Run()
+	reqs := uint64(cfg.Threads * cfg.RequestsPerThread)
+	return Result{
+		Requests:   reqs,
+		Cycles:     cycles,
+		Throughput: float64(reqs) * float64(cost.CyclesPerSecond) / float64(cycles),
+		BytesMoved: reqs * cfg.PageBytes,
+	}
+}
+
+// requestFixedWork is the per-request cost outside file access: parsing
+// the HTTP request, socket syscalls, event-loop bookkeeping.
+const requestFixedWork = 55_000

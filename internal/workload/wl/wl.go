@@ -1,0 +1,147 @@
+// Package wl holds the access-interface abstraction shared by every
+// workload: the same logical file operation (read a file once, write a
+// record, append a block) expressed through read/write system calls,
+// POSIX mmap (lazy or populated), or the daxvm_mmap variants — the axes
+// of every figure in the paper.
+package wl
+
+import (
+	"daxvm/internal/core"
+	"daxvm/internal/kernel"
+	"daxvm/internal/latr"
+	"daxvm/internal/mem"
+	"daxvm/internal/mm"
+	"daxvm/internal/sim"
+
+	hw "daxvm/internal/cpu"
+)
+
+// Iface selects how a workload touches file data.
+type Iface struct {
+	// Name labels result rows ("read", "mmap", "populate", "daxvm", ...).
+	Name string
+	// Syscall uses read(2)/write(2) instead of mapping.
+	Syscall bool
+	// DaxVM uses daxvm_mmap; otherwise POSIX mmap.
+	DaxVM bool
+	// Populate adds MAP_POPULATE to POSIX mmap.
+	Populate bool
+	// Ephemeral, AsyncUnmap, NoSync are the daxvm_mmap flags.
+	Ephemeral  bool
+	AsyncUnmap bool
+	NoSync     bool
+	// LATR routes munmap through the LATR baseline.
+	LATR bool
+}
+
+// The standard interface set of the evaluation.
+var (
+	Read           = Iface{Name: "read", Syscall: true}
+	Mmap           = Iface{Name: "mmap"}
+	MmapPopulate   = Iface{Name: "populate", Populate: true}
+	MmapLATR       = Iface{Name: "latr", Populate: true, LATR: true}
+	DaxVMTables    = Iface{Name: "daxvm-ft"}                                               // file tables only
+	DaxVMEph       = Iface{Name: "daxvm-eph", Ephemeral: true}                             // + ephemeral heap
+	DaxVMAsync     = Iface{Name: "daxvm-async", Ephemeral: true, AsyncUnmap: true}         // + async unmap
+	DaxVMFull      = Iface{Name: "daxvm", Ephemeral: true, AsyncUnmap: true, NoSync: true} // everything
+	DaxVMNoSync    = Iface{Name: "daxvm-nosync", NoSync: true}                             // long-lived mappings
+	DaxVMAsyncOnly = Iface{Name: "daxvm-asynconly", AsyncUnmap: true}                      // ablation
+)
+
+func init() {
+	// The daxvm variants all go through daxvm_mmap.
+	for _, p := range []*Iface{&DaxVMTables, &DaxVMEph, &DaxVMAsync, &DaxVMFull, &DaxVMNoSync, &DaxVMAsyncOnly} {
+		p.DaxVM = true
+	}
+}
+
+// Flags converts the Iface to daxvm_mmap flags.
+func (i Iface) Flags() core.Flags {
+	var f core.Flags
+	if i.Ephemeral {
+		f |= core.FlagEphemeral
+	}
+	if i.AsyncUnmap {
+		f |= core.FlagUnmapAsync
+	}
+	if i.NoSync {
+		f |= core.FlagNoMsync
+	}
+	return f
+}
+
+// MapFlags converts the Iface to POSIX mmap flags.
+func (i Iface) MapFlags() mm.MapFlags {
+	f := mm.MapShared | mm.MapSync
+	if i.Populate {
+		f |= mm.MapPopulate
+	}
+	return f
+}
+
+// Env bundles what a workload thread needs.
+type Env struct {
+	Proc *kernel.Proc
+	LATR *latr.LATR
+	// Buf is a reusable read(2) destination buffer.
+	Buf []byte
+}
+
+// ConsumeFileOnce performs the paper's ephemeral access: open the file,
+// touch all its bytes once through the interface, close it. It returns
+// the number of bytes processed.
+func (e *Env) ConsumeFileOnce(t *sim.Thread, c *hw.Core, path string, iface Iface, kind kernel.AccessKind) uint64 {
+	p := e.Proc
+	fd, err := p.Open(t, path)
+	if err != nil {
+		panic(err)
+	}
+	size := p.Inode(fd).Size
+	var processed uint64
+	switch {
+	case iface.Syscall:
+		if uint64(len(e.Buf)) < size {
+			e.Buf = make([]byte, size)
+		}
+		n, err := p.ReadAt(t, fd, 0, e.Buf[:size])
+		if err != nil {
+			panic(err)
+		}
+		kernel.ConsumeBuffer(t, n)
+		processed = n
+	case iface.DaxVM:
+		va, err := p.DaxvmMmap(t, c, fd, 0, size, mem.PermRead, iface.Flags())
+		if err != nil {
+			panic(err)
+		}
+		if err := p.AccessMapped(t, c, va, size, kind); err != nil {
+			panic(err)
+		}
+		if err := p.DaxvmMunmap(t, c, va); err != nil {
+			panic(err)
+		}
+		processed = size
+	default:
+		va, err := p.Mmap(t, c, fd, 0, size, mem.PermRead, iface.MapFlags())
+		if err != nil {
+			panic(err)
+		}
+		if err := p.AccessMapped(t, c, va, size, kind); err != nil {
+			panic(err)
+		}
+		if iface.LATR && e.LATR != nil {
+			if err := e.LATR.Munmap(t, p.MM, c, va, size); err != nil {
+				panic(err)
+			}
+			p.K.ICache.Put(t, p.Inode(fd)) // drop the mapping reference
+			e.LATR.Tick(t, c)
+		} else {
+			if err := p.Munmap(t, c, va, size); err != nil {
+				panic(err)
+			}
+		}
+		processed = size
+	}
+	p.Close(t, fd)
+	return processed
+}

@@ -1,0 +1,173 @@
+// Package ycsb implements the YCSB workload generator: a zipfian request
+// distribution over a keyspace and the standard core workload mixes
+// (A-F plus Load), as used by the paper's Fig. 9c RocksDB evaluation.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind is one generated operation.
+type OpKind uint8
+
+const (
+	// OpRead is a point lookup.
+	OpRead OpKind = iota
+	// OpUpdate overwrites an existing key.
+	OpUpdate
+	// OpInsert adds a new key.
+	OpInsert
+	// OpScan reads a short ordered range.
+	OpScan
+	// OpRMW is read-modify-write.
+	OpRMW
+)
+
+// Op is one request.
+type Op struct {
+	Kind    OpKind
+	Key     uint64
+	ScanLen int
+}
+
+// Mix is a workload definition.
+type Mix struct {
+	Name                            string
+	Read, Update, Insert, Scan, RMW int // percentages
+	ReadLatest                      bool
+}
+
+// Standard YCSB core workloads.
+var (
+	WorkloadLoad = Mix{Name: "load", Insert: 100}
+	WorkloadA    = Mix{Name: "a", Read: 50, Update: 50}
+	WorkloadB    = Mix{Name: "b", Read: 95, Update: 5}
+	WorkloadC    = Mix{Name: "c", Read: 100}
+	WorkloadD    = Mix{Name: "d", Read: 95, Insert: 5, ReadLatest: true}
+	WorkloadE    = Mix{Name: "e", Scan: 95, Insert: 5}
+	WorkloadF    = Mix{Name: "f", Read: 50, RMW: 50}
+)
+
+// ByName resolves a workload id ("load", "a".."f").
+func ByName(name string) (Mix, error) {
+	for _, m := range []Mix{WorkloadLoad, WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE, WorkloadF} {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("ycsb: unknown workload %q", name)
+}
+
+// Generator produces operations for one mix.
+type Generator struct {
+	mix      Mix
+	rng      *rand.Rand
+	zipf     *zipfian
+	inserted uint64
+}
+
+// NewGenerator creates a generator over an initial keyspace of n keys.
+func NewGenerator(mix Mix, keys uint64, seed int64) *Generator {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Generator{mix: mix, rng: rng, inserted: keys}
+	if keys > 0 {
+		g.zipf = newZipfian(rng, keys, 0.99)
+	}
+	return g
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	r := g.rng.Intn(100)
+	m := g.mix
+	switch {
+	case r < m.Read:
+		return Op{Kind: OpRead, Key: g.chooseKey()}
+	case r < m.Read+m.Update:
+		return Op{Kind: OpUpdate, Key: g.chooseKey()}
+	case r < m.Read+m.Update+m.Insert:
+		k := g.inserted
+		g.inserted++
+		return Op{Kind: OpInsert, Key: k}
+	case r < m.Read+m.Update+m.Insert+m.Scan:
+		return Op{Kind: OpScan, Key: g.chooseKey(), ScanLen: 1 + g.rng.Intn(100)}
+	default:
+		return Op{Kind: OpRMW, Key: g.chooseKey()}
+	}
+}
+
+// chooseKey picks a key: zipfian over the live keyspace, or latest-skewed
+// for workload D.
+func (g *Generator) chooseKey() uint64 {
+	if g.inserted == 0 {
+		return 0
+	}
+	if g.mix.ReadLatest {
+		// Skew toward recently inserted keys.
+		d := uint64(g.rng.ExpFloat64() * float64(g.inserted) / 16)
+		if d >= g.inserted {
+			d = g.inserted - 1
+		}
+		return g.inserted - 1 - d
+	}
+	if g.zipf == nil {
+		return g.rng.Uint64() % g.inserted
+	}
+	k := g.zipf.next()
+	if k >= g.inserted {
+		k = g.rng.Uint64() % g.inserted
+	}
+	return k
+}
+
+// Inserted reports the current keyspace size.
+func (g *Generator) Inserted() uint64 { return g.inserted }
+
+// zipfian is the standard Gray et al. rejection-inversion generator.
+type zipfian struct {
+	rng               *rand.Rand
+	n                 uint64
+	theta             float64
+	alpha, zetan, eta float64
+	zeta2             float64
+}
+
+func newZipfian(rng *rand.Rand, n uint64, theta float64) *zipfian {
+	z := &zipfian{rng: rng, n: n, theta: theta}
+	z.zeta2 = zeta(2, theta)
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	// Cap the exact sum; beyond the cap use the integral approximation.
+	const cap0 = 100000
+	m := n
+	if m > cap0 {
+		m = cap0
+	}
+	for i := uint64(1); i <= m; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	if n > m {
+		sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(m), 1-theta)) / (1 - theta)
+	}
+	return sum
+}
+
+func (z *zipfian) next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

@@ -1,0 +1,103 @@
+package ycsb
+
+import "testing"
+
+func TestMixProportions(t *testing.T) {
+	g := NewGenerator(WorkloadA, 10_000, 1)
+	counts := map[OpKind]int{}
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	rf := float64(counts[OpRead]) / n
+	uf := float64(counts[OpUpdate]) / n
+	if rf < 0.45 || rf > 0.55 || uf < 0.45 || uf > 0.55 {
+		t.Fatalf("workload A mix off: read %.2f update %.2f", rf, uf)
+	}
+}
+
+func TestLoadIsAllInserts(t *testing.T) {
+	g := NewGenerator(WorkloadLoad, 0, 1)
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Kind != OpInsert {
+			t.Fatalf("load produced %v", op.Kind)
+		}
+		if op.Key != uint64(i) {
+			t.Fatalf("insert keys not sequential: %d at %d", op.Key, i)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := NewGenerator(WorkloadC, 100_000, 2)
+	counts := map[uint64]int{}
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	// Top-10 hottest keys must absorb a large share (zipf 0.99).
+	var top int
+	for k := uint64(0); k < 10; k++ {
+		top += counts[k]
+	}
+	if float64(top)/n < 0.10 {
+		t.Fatalf("zipfian not skewed: top-10 share %.3f", float64(top)/n)
+	}
+	// And every key must be in range.
+	for k := range counts {
+		if k >= 100_000 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestReadLatestSkewsRecent(t *testing.T) {
+	g := NewGenerator(WorkloadD, 10_000, 3)
+	recent := 0
+	reads := 0
+	for i := 0; i < 20_000; i++ {
+		op := g.Next()
+		if op.Kind != OpRead {
+			continue
+		}
+		reads++
+		if op.Key >= g.Inserted()-g.Inserted()/4 {
+			recent++
+		}
+	}
+	if float64(recent)/float64(reads) < 0.5 {
+		t.Fatalf("read-latest not skewed: %.2f recent", float64(recent)/float64(reads))
+	}
+}
+
+func TestScanLengths(t *testing.T) {
+	g := NewGenerator(WorkloadE, 1000, 4)
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Kind == OpScan && (op.ScanLen < 1 || op.ScanLen > 100) {
+			t.Fatalf("scan length %d", op.ScanLen)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"load", "a", "b", "c", "d", "e", "f"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("zzz"); err == nil {
+		t.Fatal("bad name accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(WorkloadF, 1000, 9)
+	b := NewGenerator(WorkloadF, 1000, 9)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
