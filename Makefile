@@ -1,0 +1,40 @@
+# Local CI for the daxvm simulator. `make ci` is what a pipeline runs.
+
+GO ?= go
+
+.PHONY: ci build fmt vet test race smoke clean
+
+ci: fmt vet build test race smoke
+
+build:
+	$(GO) build ./...
+
+# gofmt -l prints offending files; fail when it prints anything.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# End-to-end artifact check: run one quick experiment through the CLI and
+# validate the BENCH_*.json it writes (schema validation runs in-process
+# via TestArtifactSmoke; this exercises the daxbench flag plumbing too).
+smoke:
+	@tmp="$$(mktemp -d)"; \
+	$(GO) run ./cmd/daxbench -quick -metrics-out "$$tmp" storage >/dev/null && \
+	test -s "$$tmp/BENCH_storage.json" && \
+	$(GO) test ./internal/bench/ -run TestArtifactSmoke -count=1 >/dev/null && \
+	echo "smoke: BENCH_storage.json written and schema-validated"; \
+	rc=$$?; rm -rf "$$tmp"; exit $$rc
+
+clean:
+	$(GO) clean ./...

@@ -253,14 +253,14 @@ func TestRunExperimentAPI(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	m, err := RunExperiment("storage", true, io.Discard)
+	m, err := RunExperiment("storage", true, io.Discard, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m["pmem-pct"] <= 0 {
 		t.Fatalf("metrics = %v", m)
 	}
-	if _, err := RunExperiment("nope", true, io.Discard); err == nil {
+	if _, err := RunExperiment("nope", true, io.Discard, nil); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

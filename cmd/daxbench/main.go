@@ -6,29 +6,51 @@
 //	daxbench list                 # list experiment ids
 //	daxbench all [-quick]         # run everything
 //	daxbench <id> [...] [-quick]  # run specific experiments (fig4, table2, ...)
+//
+// Observability:
+//
+//	-trace out.json      write a Chrome trace of the run (open in Perfetto)
+//	-metrics-out dir     write a BENCH_<id>.json artifact per experiment
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"daxvm/internal/bench"
+	"daxvm/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink working sets for a fast pass")
 	verbose := flag.Bool("v", false, "stream per-configuration progress")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of the run to this file")
+	metricsDir := flag.String("metrics-out", "", "write a BENCH_<id>.json artifact per experiment into this directory")
 	flag.Parse()
 	// Accept flags after the command too (flag stops at positionals).
 	args := make([]string, 0, flag.NArg())
-	for _, a := range flag.Args() {
+	rest := flag.Args()
+	for i := 0; i < len(rest); i++ {
+		a := rest[i]
 		switch a {
 		case "-quick", "--quick":
 			*quick = true
 		case "-v", "--v":
 			*verbose = true
+		case "-trace", "--trace", "-metrics-out", "--metrics-out":
+			if i+1 >= len(rest) {
+				fmt.Fprintf(os.Stderr, "%s needs a value\n", a)
+				os.Exit(2)
+			}
+			i++
+			if a == "-trace" || a == "--trace" {
+				*tracePath = rest[i]
+			} else {
+				*metricsDir = rest[i]
+			}
 		default:
 			args = append(args, a)
 		}
@@ -42,7 +64,11 @@ func main() {
 	if *verbose {
 		opts.Log = os.Stderr
 	}
+	if *tracePath != "" || *metricsDir != "" {
+		opts.Obs = obs.New(0)
+	}
 
+	r := runner{opts: opts, metricsDir: *metricsDir}
 	switch args[0] {
 	case "list":
 		for _, e := range bench.All() {
@@ -51,9 +77,8 @@ func main() {
 		return
 	case "all":
 		for _, e := range bench.All() {
-			runOne(e, opts)
+			r.runOne(e)
 		}
-		return
 	default:
 		for _, id := range args {
 			e, ok := bench.ByID(id)
@@ -61,22 +86,77 @@ func main() {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q; try 'daxbench list'\n", id)
 				os.Exit(2)
 			}
-			runOne(e, opts)
+			r.runOne(e)
 		}
+	}
+
+	if *tracePath != "" {
+		if err := writeTrace(opts.Obs, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[trace: %d events -> %s (%d dropped); open in https://ui.perfetto.dev]\n",
+			opts.Obs.Trace.Len(), *tracePath, opts.Obs.Trace.Dropped())
 	}
 }
 
-func runOne(e bench.Experiment, opts bench.Options) {
+type runner struct {
+	opts       bench.Options
+	metricsDir string
+}
+
+func (r runner) runOne(e bench.Experiment) {
 	start := time.Now()
-	r := e.Run(opts)
-	bench.Render(os.Stdout, r)
+	res := e.Run(r.opts)
+	bench.Render(os.Stdout, res)
 	fmt.Fprintf(os.Stderr, "[%s finished in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	if r.metricsDir == "" {
+		return
+	}
+	var snap *obs.Snapshot
+	if r.opts.Obs != nil {
+		s := r.opts.Obs.Reg.Snapshot()
+		snap = &s
+	}
+	path := filepath.Join(r.metricsDir, "BENCH_"+e.ID+".json")
+	if err := writeArtifact(bench.NewArtifact(res, r.opts.Quick, snap), path); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[metrics: %s]\n", path)
+}
+
+func writeArtifact(a *bench.Artifact, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := a.WriteArtifact(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTrace(o *obs.Obs, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Trace.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `daxbench — DaxVM (MICRO'22) evaluation reproduction
 usage:
   daxbench list
-  daxbench all [-quick] [-v]
-  daxbench <id> [<id>...] [-quick] [-v]`)
+  daxbench all [-quick] [-v] [-trace out.json] [-metrics-out dir]
+  daxbench <id> [<id>...] [-quick] [-v] [-trace out.json] [-metrics-out dir]`)
 }

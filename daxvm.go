@@ -9,7 +9,7 @@
 //
 //	sys := daxvm.NewSystem(daxvm.Config{Cores: 4, EnableDaxVM: true})
 //	p := sys.NewProcess()
-//	sys.Main(func(t *daxvm.Thread, c *daxvm.Core) {
+//	sys.Main(p, func(t *daxvm.Thread, c *daxvm.Core) {
 //	    fd, _ := p.Create(t, "hello")
 //	    p.Append(t, fd, []byte("persistent bytes"))
 //	    va, _ := p.DaxvmMmap(t, c, fd, 0, 16, daxvm.ReadOnly, daxvm.MapEphemeral)
@@ -28,6 +28,7 @@ import (
 	"daxvm/internal/kernel"
 	"daxvm/internal/mem"
 	"daxvm/internal/mm"
+	"daxvm/internal/obs"
 	"daxvm/internal/sim"
 )
 
@@ -43,6 +44,9 @@ type (
 	VirtAddr = mem.VirtAddr
 	// AccessKind selects the data-cost model of a mapped access.
 	AccessKind = kernel.AccessKind
+	// Snapshot is a point-in-time reading of every registered metric;
+	// subtract two with Delta for measured-window reporting.
+	Snapshot = obs.Snapshot
 )
 
 // Permissions.
@@ -113,6 +117,8 @@ type Config struct {
 	PrezeroBandwidthMBps uint64
 	// TrackPersistence enables crash simulation.
 	TrackPersistence bool
+	// TraceCapacity bounds the event-trace ring (0 = default 64k events).
+	TraceCapacity int
 }
 
 // System is a booted simulated machine.
@@ -120,9 +126,12 @@ type System struct {
 	K *kernel.Kernel
 }
 
-// NewSystem boots a machine.
+// NewSystem boots a machine. Every system carries an observability hub:
+// counters, latency histograms and an event tracer are always wired (the
+// hot-path cost is a few branches), readable via Snapshot and WriteTrace.
 func NewSystem(cfg Config) *System {
 	k := kernel.Boot(kernel.Config{
+		Obs:         obs.New(cfg.TraceCapacity),
 		Cores:       cfg.Cores,
 		DeviceBytes: cfg.DeviceBytes,
 		FS:          cfg.FS,
@@ -156,17 +165,29 @@ func (s *System) Run() uint64 { return s.K.Run() }
 // Setup runs fn outside the measured window (corpus creation etc.).
 func (s *System) Setup(fn func(t *Thread)) { s.K.Setup(fn) }
 
+// Snapshot reads every registered metric. Take one before and one after a
+// measured window and subtract (after.Delta(before)) to report only the
+// window's activity.
+func (s *System) Snapshot() Snapshot { return s.K.Obs.Reg.Snapshot() }
+
+// WriteTrace exports the retained event trace as Chrome trace-event JSON,
+// viewable in Perfetto (https://ui.perfetto.dev) or chrome://tracing. One
+// track per simulated core; timestamps are virtual cycles converted to
+// microseconds at the simulated 2.7 GHz clock.
+func (s *System) WriteTrace(w io.Writer) error { return s.K.Obs.Trace.WriteChromeTrace(w) }
+
 // Experiments lists the reproducible experiment ids (tables/figures).
 func Experiments() []string { return bench.IDs() }
 
 // RunExperiment regenerates one paper table/figure, rendering the result
-// to w. quick shrinks working sets for CI.
-func RunExperiment(id string, quick bool, w io.Writer) (map[string]float64, error) {
+// to w. quick shrinks working sets for CI. log, when non-nil, receives
+// per-configuration progress lines as the experiment runs.
+func RunExperiment(id string, quick bool, w, log io.Writer) (map[string]float64, error) {
 	e, ok := bench.ByID(id)
 	if !ok {
 		return nil, errUnknownExperiment(id)
 	}
-	r := e.Run(bench.Options{Quick: quick, Log: nil})
+	r := e.Run(bench.Options{Quick: quick, Log: log})
 	bench.Render(w, r)
 	return r.Metrics, nil
 }

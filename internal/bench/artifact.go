@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"daxvm/internal/obs"
+)
+
+// ArtifactSchema identifies the per-experiment JSON artifact format.
+const ArtifactSchema = "daxvm-bench/v1"
+
+// Artifact is the machine-readable outcome of one experiment run, written
+// as BENCH_<id>.json. Metrics mirror Result.Metrics; Snapshot, when
+// present, is the observability registry state after the run.
+type Artifact struct {
+	Schema   string             `json:"schema"`
+	ID       string             `json:"id"`
+	Title    string             `json:"title"`
+	Quick    bool               `json:"quick"`
+	Metrics  map[string]float64 `json:"metrics"`
+	Notes    []string           `json:"notes,omitempty"`
+	Snapshot *obs.Snapshot      `json:"snapshot,omitempty"`
+}
+
+// NewArtifact packages a result (and optionally the post-run registry
+// snapshot) for serialization.
+func NewArtifact(r *Result, quick bool, snap *obs.Snapshot) *Artifact {
+	m := r.Metrics
+	if m == nil {
+		m = map[string]float64{}
+	}
+	return &Artifact{
+		Schema:   ArtifactSchema,
+		ID:       r.ID,
+		Title:    r.Title,
+		Quick:    quick,
+		Metrics:  m,
+		Notes:    r.Notes,
+		Snapshot: snap,
+	}
+}
+
+// WriteArtifact serializes the artifact as indented JSON.
+func (a *Artifact) WriteArtifact(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// ValidateArtifact checks raw bytes against the daxvm-bench/v1 schema:
+// required fields present with the right JSON types, schema id matching,
+// metric values finite numbers. Hand-rolled — the toolchain has no JSON
+// Schema validator and the format is small enough not to want one.
+func ValidateArtifact(raw []byte) error {
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		return fmt.Errorf("artifact: not a JSON object: %w", err)
+	}
+	var schema string
+	if err := unmarshalField(top, "schema", &schema); err != nil {
+		return err
+	}
+	if schema != ArtifactSchema {
+		return fmt.Errorf("artifact: schema %q, want %q", schema, ArtifactSchema)
+	}
+	var id, title string
+	if err := unmarshalField(top, "id", &id); err != nil {
+		return err
+	}
+	if id == "" {
+		return fmt.Errorf("artifact: empty id")
+	}
+	if err := unmarshalField(top, "title", &title); err != nil {
+		return err
+	}
+	var quick bool
+	if err := unmarshalField(top, "quick", &quick); err != nil {
+		return err
+	}
+	var metrics map[string]float64
+	if err := unmarshalField(top, "metrics", &metrics); err != nil {
+		return err
+	}
+	if snap, ok := top["snapshot"]; ok {
+		var s obs.Snapshot
+		if err := json.Unmarshal(snap, &s); err != nil {
+			return fmt.Errorf("artifact: bad snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+func unmarshalField(top map[string]json.RawMessage, name string, into any) error {
+	raw, ok := top[name]
+	if !ok {
+		return fmt.Errorf("artifact: missing required field %q", name)
+	}
+	if err := json.Unmarshal(raw, into); err != nil {
+		return fmt.Errorf("artifact: field %q: %w", name, err)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"daxvm/internal/obs"
+)
+
+// TestArtifactSmoke runs one cheap experiment end to end and validates
+// the JSON artifact it produces against the daxvm-bench/v1 schema.
+func TestArtifactSmoke(t *testing.T) {
+	e, ok := ByID("storage")
+	if !ok {
+		t.Fatal("storage experiment not registered")
+	}
+	o := obs.New(0)
+	r := e.Run(Options{Quick: true, Obs: o})
+	if len(r.Metrics) == 0 {
+		t.Fatal("experiment produced no metrics")
+	}
+
+	snap := o.Reg.Snapshot()
+	a := NewArtifact(r, true, &snap)
+	var buf bytes.Buffer
+	if err := a.WriteArtifact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateArtifact(buf.Bytes()); err != nil {
+		t.Fatalf("artifact failed its own schema: %v\n%s", err, buf.String())
+	}
+
+	// The observability hub wired into the experiment's kernel must have
+	// seen the corpus build (creates + appends, each a journal txn).
+	if len(snap.Counters) == 0 {
+		t.Error("snapshot has no counters — Obs was not wired into boot()")
+	}
+	for _, name := range []string{"ext4.creates", "ext4.appends", "ext4.journal.begins"} {
+		if snap.Get(name) == 0 {
+			t.Errorf("%s = 0: experiment activity did not reach the registry", name)
+		}
+	}
+}
+
+// TestValidateArtifactRejects exercises the validator's failure modes.
+func TestValidateArtifactRejects(t *testing.T) {
+	valid := `{"schema":"daxvm-bench/v1","id":"x","title":"t","quick":true,"metrics":{"a":1}}`
+	if err := ValidateArtifact([]byte(valid)); err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+	cases := []struct {
+		name, raw, wantErr string
+	}{
+		{"not-json", `nope`, "not a JSON object"},
+		{"wrong-schema", `{"schema":"other/v9","id":"x","title":"t","quick":true,"metrics":{}}`, "schema"},
+		{"missing-id", `{"schema":"daxvm-bench/v1","title":"t","quick":true,"metrics":{}}`, `missing required field "id"`},
+		{"empty-id", `{"schema":"daxvm-bench/v1","id":"","title":"t","quick":true,"metrics":{}}`, "empty id"},
+		{"bad-metrics", `{"schema":"daxvm-bench/v1","id":"x","title":"t","quick":true,"metrics":{"a":"NaN"}}`, `field "metrics"`},
+		{"bad-quick", `{"schema":"daxvm-bench/v1","id":"x","title":"t","quick":"yes","metrics":{}}`, `field "quick"`},
+		{"bad-snapshot", `{"schema":"daxvm-bench/v1","id":"x","title":"t","quick":true,"metrics":{},"snapshot":42}`, "bad snapshot"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateArtifact([]byte(c.raw))
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"daxvm/internal/obs"
 )
 
 // Options control an experiment run.
@@ -18,6 +20,10 @@ type Options struct {
 	Quick bool
 	// Log receives progress lines (may be nil).
 	Log io.Writer
+	// Obs, when set, is wired into every kernel the experiment boots:
+	// counters and histograms reflect the most recent boot, the trace
+	// ring accumulates across boots.
+	Obs *obs.Obs
 }
 
 func (o Options) logf(format string, args ...any) {

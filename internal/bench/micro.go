@@ -34,6 +34,7 @@ func boot(o Options, iface wl.Iface, cores int, aged bool, fs kernel.FSKind, mod
 		FS:          fs,
 		Age:         aged,
 		DaxVM:       iface.DaxVM,
+		Obs:         o.Obs,
 	}
 	if o.Quick {
 		cfg.DeviceBytes = 1 << 30
@@ -652,7 +653,7 @@ func runStorage(o Options) *Result {
 	if o.Quick {
 		cfg.Files = 2000
 	}
-	k := boot(Options{}, wl.DaxVMFull, 1, false, kernel.Ext4, nil)
+	k := boot(Options{Obs: o.Obs}, wl.DaxVMFull, 1, false, kernel.Ext4, nil)
 	proc := k.NewProc()
 	var tree *corpus.Tree
 	k.Setup(func(t *sim.Thread) {

@@ -4,6 +4,7 @@ import (
 	"daxvm/internal/cost"
 	"daxvm/internal/cpu"
 	"daxvm/internal/mem"
+	"daxvm/internal/obs"
 	"daxvm/internal/pt"
 	"daxvm/internal/sim"
 )
@@ -83,6 +84,7 @@ func (m *Monitor) run(t *sim.Thread) {
 // asynchronously volatile tables and walks the process tables to detach
 // the persistent fragments and attach the new volatile").
 func (m *Monitor) migrate(t *sim.Thread) {
+	began := t.Now()
 	p := m.p
 	d := p.d
 	migratedAny := false
@@ -132,6 +134,7 @@ func (m *Monitor) migrate(t *sim.Thread) {
 		for _, c := range p.MM.Cores() {
 			c.DropPTELines()
 		}
+		d.Trace.Emit(obs.EvMonitorMigrate, t.Core, began, t.Now()-began, "", m.Stats.AvgWalkSample)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"daxvm/internal/cost"
 	"daxvm/internal/fs/vfs"
 	"daxvm/internal/mem"
+	"daxvm/internal/obs"
 	"daxvm/internal/sim"
 )
 
@@ -29,6 +30,7 @@ type PrezeroStats struct {
 	Intercepted uint64 // blocks taken off the free path
 	Zeroed      uint64 // blocks zeroed and released
 	Stalls      uint64 // times the daemon hit its bandwidth budget
+	Batches     uint64 // daemon quanta that zeroed at least one block
 }
 
 // zeroQuantum is the daemon's wakeup period in cycles (200 µs).
@@ -69,6 +71,8 @@ func (p *Prezeroer) run(t *sim.Thread) {
 	}
 	for {
 		t.Sleep(zeroQuantum)
+		began := t.Now()
+		zeroedBefore := p.Stats.Zeroed
 		budget := bytesPerQuantum
 		for c := range p.perCore {
 			if budget == 0 {
@@ -97,6 +101,10 @@ func (p *Prezeroer) run(t *sim.Thread) {
 			}
 			p.perCore[c] = list[done:]
 			p.locks[c].Unlock(t, cost.SpinLockRelease)
+		}
+		if zeroed := p.Stats.Zeroed - zeroedBefore; zeroed > 0 {
+			p.Stats.Batches++
+			p.d.Trace.Emit(obs.EvPrezeroBatch, t.Core, began, t.Now()-began, "", zeroed)
 		}
 	}
 }

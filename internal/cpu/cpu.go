@@ -7,6 +7,7 @@ package cpu
 import (
 	"daxvm/internal/cost"
 	"daxvm/internal/mem"
+	"daxvm/internal/obs"
 	"daxvm/internal/pt"
 	"daxvm/internal/sim"
 	"daxvm/internal/tlb"
@@ -19,6 +20,9 @@ const pteLineCacheSize = 192
 // Set is the machine's collection of cores.
 type Set struct {
 	Cores []*Core
+
+	// Trace receives TLB-shootdown events (nil = disabled).
+	Trace *obs.Tracer
 }
 
 // NewSet creates n cores.
@@ -47,6 +51,10 @@ type Core struct {
 	pteLines   map[lineKey]struct{}
 	pteOrder   []lineKey
 	pteLineGen uint64
+
+	// WalkHist, when set, records the latency of every charged page
+	// walk (registered as the cpu.walk_latency histogram).
+	WalkHist *obs.Histogram
 
 	Stats CoreStats
 }
@@ -139,6 +147,7 @@ func (c *Core) walk(t *sim.Thread, as *pt.AddressSpace, va mem.VirtAddr) (pt.Ent
 	t.Charge(cycles)
 	c.Stats.WalkCycles += cycles
 	c.Stats.Walks++
+	c.WalkHist.Observe(cycles)
 	return entry, level, writable, ok
 }
 
@@ -149,6 +158,7 @@ func (c *Core) chargeWalk(t *sim.Thread, as *pt.AddressSpace, va mem.VirtAddr, _
 	t.Charge(cycles)
 	c.Stats.WalkCycles += cycles
 	c.Stats.Walks++
+	c.WalkHist.Observe(cycles)
 }
 
 // walkCost computes the cycle cost of a walk resolving at the given level,
@@ -242,6 +252,17 @@ const (
 // DaxVM's asynchronous batched unmapping amortizes.
 func (s *Set) Shootdown(t *sim.Thread, initiator *Core, targets []*Core, kind ShootdownKind, pages []mem.VirtAddr, start, end mem.VirtAddr) {
 	t.Yield() // synchronization point: remote clocks are examined
+	began := t.Now()
+	var tag string
+	var nPages uint64
+	switch kind {
+	case ShootPages:
+		tag, nPages = "pages", uint64(len(pages))
+	case ShootRange:
+		tag, nPages = "range", uint64((end-start)/mem.PageSize)
+	case ShootFull:
+		tag = "full"
+	}
 	// Local invalidation.
 	applyInval(initiator.TLB, kind, pages, start, end)
 	switch kind {
@@ -253,6 +274,7 @@ func (s *Set) Shootdown(t *sim.Thread, initiator *Core, targets []*Core, kind Sh
 		t.Charge(cost.TLBFlushLocal)
 	}
 	if len(targets) == 0 {
+		s.Trace.Emit(obs.EvShootdown, initiator.ID, began, t.Now()-began, tag, nPages)
 		return
 	}
 	initiator.Stats.IPIsSent++
@@ -278,6 +300,7 @@ func (s *Set) Shootdown(t *sim.Thread, initiator *Core, targets []*Core, kind Sh
 		initiator.Stats.ShootdownWait += cost.IPIAckLatency
 		t.Charge(cost.IPIAckLatency)
 	}
+	s.Trace.Emit(obs.EvShootdown, initiator.ID, began, t.Now()-began, tag, nPages)
 }
 
 func applyInval(tb *tlb.TLB, kind ShootdownKind, pages []mem.VirtAddr, start, end mem.VirtAddr) {

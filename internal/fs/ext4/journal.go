@@ -3,6 +3,7 @@ package ext4
 import (
 	"daxvm/internal/cost"
 	"daxvm/internal/mem"
+	"daxvm/internal/obs"
 	"daxvm/internal/pmem"
 	"daxvm/internal/sim"
 )
@@ -21,6 +22,9 @@ type Journal struct {
 
 	pendingBlocks uint64
 	commitHooks   []func(t *sim.Thread)
+
+	// Trace receives journal-commit events (nil = disabled).
+	Trace *obs.Tracer
 
 	Stats JournalStats
 }
@@ -60,6 +64,7 @@ func (j *Journal) OnCommit(fn func(t *sim.Thread)) {
 // journal lock, writes the pending metadata blocks to the log with
 // nt-stores and fences.
 func (j *Journal) Commit(t *sim.Thread) {
+	began := t.Now()
 	j.mu.Lock(t, cost.SemAcquireFast)
 	n := j.pendingBlocks
 	j.pendingBlocks = 0
@@ -79,6 +84,7 @@ func (j *Journal) Commit(t *sim.Thread) {
 	j.dev.Fence(t)
 	j.Stats.Commits++
 	j.mu.Unlock(t, cost.SemReleaseFast)
+	j.Trace.Emit(obs.EvJournalCommit, t.Core, began, t.Now()-began, "", n)
 }
 
 // Pending reports uncommitted metadata blocks.

@@ -18,6 +18,7 @@ import (
 	"daxvm/internal/fs/vfs"
 	"daxvm/internal/mem"
 	"daxvm/internal/mm"
+	"daxvm/internal/obs"
 	"daxvm/internal/pmem"
 	"daxvm/internal/sim"
 )
@@ -61,6 +62,11 @@ type Config struct {
 	TrackPersistence bool
 	// HugePages toggles baseline DAX huge-page support (default on).
 	HugePagesOff bool
+	// Obs, when set, receives every subsystem's counters, latency
+	// histograms and trace events. May be shared across sequentially
+	// booted kernels (counter readers are re-registered; the trace ring
+	// accumulates).
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -100,10 +106,16 @@ type Kernel struct {
 	FS     MountedFS
 	ICache *vfs.ICache
 	Dax    *core.DaxVM
+	Obs    *obs.Obs
 
 	AgeReport agefs.Report
 
-	procs []*Proc
+	procs    []*Proc
+	monitors []*core.Monitor
+
+	// shared latency histograms (registered once, fed by every core/proc)
+	walkHist  *obs.Histogram
+	faultHist *obs.Histogram
 }
 
 // Boot builds the machine, formats (and optionally ages) the image, and
@@ -138,6 +150,10 @@ func Boot(cfg Config) *Kernel {
 		}
 	}
 	k.ICache = vfs.NewICache(k.FS, cfg.ICacheCapacity, hooks)
+
+	if cfg.Obs != nil {
+		k.wireObs(cfg.Obs)
+	}
 
 	if cfg.Age {
 		ac := agefs.DefaultConfig()
@@ -221,7 +237,15 @@ func (k *Kernel) NewProc() *Proc {
 	if k.Dax != nil {
 		p.Dax = k.Dax.NewProc(p.MM)
 		if k.Cfg.Monitor {
-			core.NewMonitor(p.Dax, k.Engine, 0)
+			k.monitors = append(k.monitors, core.NewMonitor(p.Dax, k.Engine, 0))
+		}
+	}
+	if k.Obs != nil {
+		tr := k.Obs.Trace
+		p.MM.Trace = tr
+		p.MM.FaultHist = k.faultHist
+		p.MM.Sem.OnContended = func(t *sim.Thread, kind string, waitStart uint64) {
+			tr.Emit(obs.EvLockContention, t.Core, waitStart, t.Now()-waitStart, "mmap_sem/"+kind, 0)
 		}
 	}
 	k.procs = append(k.procs, p)

@@ -1,0 +1,204 @@
+package kernel
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"daxvm/internal/cpu"
+	"daxvm/internal/mem"
+	"daxvm/internal/mm"
+	"daxvm/internal/obs"
+	"daxvm/internal/sim"
+)
+
+// runObsWorkload drives both the POSIX and the DaxVM data paths on two
+// cores so every instrumented subsystem fires at least once.
+func runObsWorkload(t *testing.T, k *Kernel) *Proc {
+	t.Helper()
+	p := k.NewProc()
+	p.Spawn("posix", 0, 0, func(th *sim.Thread, c *cpu.Core) {
+		fd, err := p.Create(th, "f")
+		if err != nil {
+			t.Errorf("Create: %v", err)
+			return
+		}
+		p.Append(th, fd, make([]byte, 1<<20))
+		va, err := p.Mmap(th, c, fd, 0, 1<<20, mem.PermRead|mem.PermWrite, mm.MapShared|mm.MapSync)
+		if err != nil {
+			t.Errorf("Mmap: %v", err)
+			return
+		}
+		// Read first (pages install write-protected under MAP_SYNC), then
+		// write: the second pass takes WP faults and hits the TLB.
+		p.AccessMapped(th, c, va, 128<<10, KindSum)
+		p.AccessMapped(th, c, va, 128<<10, KindCachedWrite)
+		p.Msync(th, c, va, 1<<20)
+		p.Munmap(th, c, va, 1<<20)
+		p.Close(th, fd)
+	})
+	p.Spawn("daxvm", 1, 0, func(th *sim.Thread, c *cpu.Core) {
+		fd, err := p.Create(th, "g")
+		if err != nil {
+			t.Errorf("Create: %v", err)
+			return
+		}
+		p.Append(th, fd, make([]byte, 1<<20))
+		p.Fsync(th, fd)
+		va, err := p.DaxvmMmap(th, c, fd, 0, 1<<20, mem.PermRead, 0)
+		if err != nil {
+			t.Errorf("DaxvmMmap: %v", err)
+			return
+		}
+		p.AccessMapped(th, c, va, 128<<10, KindSum)
+		p.DaxvmMunmap(th, c, va)
+		p.Close(th, fd)
+	})
+	if k.Run() == 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	return p
+}
+
+// TestSnapshotMatchesLegacyStats is the acceptance check for the metrics
+// registry: the delta over the measured window must reproduce exactly the
+// values the per-subsystem Stats structs report.
+func TestSnapshotMatchesLegacyStats(t *testing.T) {
+	o := obs.New(0)
+	k := Boot(Config{Cores: 2, DeviceBytes: 512 << 20, DaxVM: true, Obs: o})
+	before := o.Reg.Snapshot()
+	p := runObsWorkload(t, k)
+	after := o.Reg.Snapshot()
+	d := after.Delta(before)
+
+	sumCores := func(f func(*cpu.Core) uint64) uint64 {
+		var s uint64
+		for _, c := range k.Cpus.Cores {
+			s += f(c)
+		}
+		return s
+	}
+	// The boot-time snapshot is zero for these namespaces (no process
+	// existed, no faults ran), so both the absolute snapshot and the
+	// window delta must equal the legacy structs.
+	checks := []struct {
+		name string
+		want uint64
+	}{
+		{"mm.mmaps", p.MM.Stats.Mmaps},
+		{"mm.munmaps", p.MM.Stats.Munmaps},
+		{"mm.minor_faults", p.MM.Stats.MinorFaults},
+		{"mm.wp_faults", p.MM.Stats.WPFaults},
+		{"mm.msync_pages", p.MM.Stats.MsyncPages},
+		{"mm.shootdowns", p.MM.Stats.Shootdowns},
+		{"mm.lock.acquisitions", p.MM.Sem.Stats.Acquisitions},
+		{"mm.lock.read.acquisitions", p.MM.Sem.ReaderStats.Acquisitions},
+		{"tlb.misses", sumCores(func(c *cpu.Core) uint64 { return c.TLB.Stats.Misses })},
+		{"tlb.hits", sumCores(func(c *cpu.Core) uint64 { return c.TLB.Stats.Hits })},
+		{"cpu.walks", sumCores(func(c *cpu.Core) uint64 { return c.Stats.Walks })},
+		{"cpu.walk_cycles", sumCores(func(c *cpu.Core) uint64 { return c.Stats.WalkCycles })},
+		{"core.attach_ops", k.Dax.Stats.AttachOps},
+		{"core.detach_ops", k.Dax.Stats.DetachOps},
+	}
+	for _, c := range checks {
+		if got := after.Get(c.name); got != c.want {
+			t.Errorf("snapshot %s = %d, legacy stats say %d", c.name, got, c.want)
+		}
+		if got := d.Get(c.name); got != c.want {
+			t.Errorf("delta %s = %d, legacy stats say %d", c.name, got, c.want)
+		}
+		if c.want == 0 {
+			t.Errorf("workload did not exercise %s (legacy value 0)", c.name)
+		}
+	}
+	// Journal commits happen during boot-time mkfs too, so compare the
+	// absolute snapshot only.
+	if f, ok := k.FS.(*ext4FS); ok {
+		if got, want := after.Get("ext4.journal.commits"), f.FS.Journal().Stats.Commits; got != want || want == 0 {
+			t.Errorf("ext4.journal.commits = %d, legacy %d", got, want)
+		}
+	} else {
+		t.Fatal("expected ext4")
+	}
+	if got, want := after.Get("pmem.bytes_written"), k.Dev.Stats.BytesWritten; got != want || want == 0 {
+		t.Errorf("pmem.bytes_written = %d, legacy %d", got, want)
+	}
+	if got, want := after.Get("dram.used_bytes"), k.Pool.Used(); got != want {
+		t.Errorf("dram.used_bytes = %d, legacy %d", got, want)
+	}
+
+	// Histograms: every charged walk lands in cpu.walk_latency, so the
+	// counts must agree with the per-core Stats too.
+	wh := after.Hists["cpu.walk_latency"]
+	if want := sumCores(func(c *cpu.Core) uint64 { return c.Stats.Walks }); wh.Count != want {
+		t.Errorf("cpu.walk_latency count = %d, want %d", wh.Count, want)
+	}
+	if fh := after.Hists["mm.fault_latency"]; fh.Count == 0 || fh.Sum == 0 {
+		t.Errorf("mm.fault_latency empty: %+v", fh)
+	}
+}
+
+// TestTraceEventsAcrossCores checks the tracer acceptance criteria: the
+// workload must produce several distinct event types spread over more
+// than one core track, and the Chrome export must be valid JSON.
+func TestTraceEventsAcrossCores(t *testing.T) {
+	o := obs.New(0)
+	k := Boot(Config{Cores: 2, DeviceBytes: 512 << 20, DaxVM: true, Obs: o})
+	runObsWorkload(t, k)
+
+	types := map[string]int{}
+	cores := map[int]bool{}
+	for _, e := range o.Trace.Events() {
+		types[e.Type]++
+		cores[e.Core] = true
+	}
+	if len(types) < 4 {
+		t.Errorf("only %d distinct event types: %v", len(types), types)
+	}
+	if len(cores) < 2 {
+		t.Errorf("events on %d cores, want >= 2", len(cores))
+	}
+	for _, want := range []string{obs.EvPageFault, obs.EvMmap, obs.EvShootdown, obs.EvJournalCommit, obs.EvDaxvmMmap} {
+		if types[want] == 0 {
+			t.Errorf("no %s events (have %v)", want, types)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := o.Trace.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) < 10 {
+		t.Fatalf("suspiciously small trace: %d entries", len(parsed.TraceEvents))
+	}
+}
+
+// TestObsSharedAcrossBoots locks in the multi-kernel contract: when one
+// hub is reused (as bench does), counter readers follow the most recent
+// boot while the trace ring keeps accumulating.
+func TestObsSharedAcrossBoots(t *testing.T) {
+	o := obs.New(0)
+	k1 := Boot(Config{Cores: 2, DeviceBytes: 512 << 20, DaxVM: true, Obs: o})
+	runObsWorkload(t, k1)
+	if o.Reg.Snapshot().Get("mm.mmaps") == 0 {
+		t.Fatal("first kernel registered nothing")
+	}
+	eventsAfterFirst := o.Trace.Len()
+	if eventsAfterFirst == 0 {
+		t.Fatal("first kernel traced nothing")
+	}
+
+	Boot(Config{Cores: 2, DeviceBytes: 512 << 20, DaxVM: true, Obs: o})
+	if got := o.Reg.Snapshot().Get("mm.mmaps"); got != 0 {
+		t.Errorf("after reboot mm.mmaps = %d, want 0 (readers must follow the new kernel)", got)
+	}
+	if o.Trace.Len() < eventsAfterFirst {
+		t.Error("reboot discarded trace events")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"daxvm/internal/dram"
 	"daxvm/internal/fs/vfs"
 	"daxvm/internal/mem"
+	"daxvm/internal/obs"
 	"daxvm/internal/pt"
 	"daxvm/internal/radix"
 	"daxvm/internal/rbtree"
@@ -82,6 +83,11 @@ type MM struct {
 	// permissions live at the attachment level and dirty tracking is
 	// 2 MiB-grained. Set by internal/core.
 	DaxWPFault func(t *sim.Thread, core *cpu.Core, v *VMA, va mem.VirtAddr) error
+
+	// Trace receives VM events (faults, mmap/munmap, msync); FaultHist
+	// records end-to-end fault service latency. Both nil = disabled.
+	Trace     *obs.Tracer
+	FaultHist *obs.Histogram
 
 	Stats Stats
 }
@@ -212,6 +218,7 @@ func (m *MM) Mmap(t *sim.Thread, core *cpu.Core, in *vfs.Inode, fileOff, length 
 	if length == 0 || !mem.IsAligned(fileOff, mem.PageSize) {
 		return 0, fmt.Errorf("mm: bad mmap args off=%d len=%d", fileOff, length)
 	}
+	began := t.Now()
 	t.Charge(cost.MmapFixed)
 	m.Sem.Lock(t, cost.SemAcquireFast)
 	length = mem.AlignedUp(length, mem.PageSize)
@@ -227,7 +234,16 @@ func (m *MM) Mmap(t *sim.Thread, core *cpu.Core, in *vfs.Inode, fileOff, length 
 		m.populateRange(t, core, v, v.Start, v.End)
 	}
 	m.Sem.Unlock(t, cost.SemReleaseFast)
+	m.Trace.Emit(obs.EvMmap, coreID(core), began, t.Now()-began, "", length/mem.PageSize)
 	return va, nil
+}
+
+// coreID names the trace track for a (possibly nil) core.
+func coreID(c *cpu.Core) int {
+	if c == nil {
+		return 0
+	}
+	return c.ID
 }
 
 // populateRange installs clean (write-protected when dirty tracking
@@ -308,6 +324,19 @@ func (m *MM) tryHuge(t *sim.Thread, v *VMA, va, end mem.VirtAddr, chargeFault bo
 // write=true folds the dirty-tracking work into the same fault, like
 // Linux's shared-file write fault.
 func (m *MM) PageFault(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, write bool) error {
+	began := t.Now()
+	err := m.pageFault(t, core, va, write)
+	cycles := t.Now() - began
+	m.FaultHist.Observe(cycles)
+	tag := "read"
+	if write {
+		tag = "write"
+	}
+	m.Trace.Emit(obs.EvPageFault, coreID(core), began, cycles, tag, uint64(va))
+	return err
+}
+
+func (m *MM) pageFault(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, write bool) error {
 	t.Charge(cost.FaultEntry)
 	m.Sem.RLock(t, cost.SemAcquireFast)
 	v := m.FindVMA(t, va)
@@ -372,6 +401,15 @@ func (m *MM) installPTE(t *sim.Thread, va mem.VirtAddr, phys uint64, perm mem.Pe
 // dirty-tracking path (ext4's page_mkwrite + radix tagging), plus the
 // MAP_SYNC metadata commit.
 func (m *MM) WPFault(t *sim.Thread, core *cpu.Core, va mem.VirtAddr) error {
+	began := t.Now()
+	err := m.wpFault(t, core, va)
+	cycles := t.Now() - began
+	m.FaultHist.Observe(cycles)
+	m.Trace.Emit(obs.EvWPFault, coreID(core), began, cycles, "", uint64(va))
+	return err
+}
+
+func (m *MM) wpFault(t *sim.Thread, core *cpu.Core, va mem.VirtAddr) error {
 	t.Charge(cost.FaultEntry)
 	m.Sem.RLock(t, cost.SemAcquireFast)
 	v := m.FindVMA(t, va)
@@ -439,11 +477,13 @@ func (m *MM) makeWritable(t *sim.Thread, va mem.VirtAddr) {
 // POSIX requires (the fine-grained generality DaxVM's ephemeral mappings
 // drop).
 func (m *MM) Munmap(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, length uint64) error {
+	began := t.Now()
 	t.Charge(cost.MunmapFixed)
 	end := va + mem.VirtAddr(mem.AlignedUp(length, mem.PageSize))
 	m.Sem.Lock(t, cost.SemAcquireFast)
 	err := m.munmapLocked(t, core, va, end)
 	m.Sem.Unlock(t, cost.SemReleaseFast)
+	m.Trace.Emit(obs.EvMunmap, coreID(core), began, t.Now()-began, "", uint64(end-va)/mem.PageSize)
 	return err
 }
 
@@ -606,6 +646,7 @@ func (m *MM) Mprotect(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, length uin
 // Msync flushes dirty pages of the mapping containing va back to media:
 // walk the radix tags, clwb the data, re-write-protect, commit metadata.
 func (m *MM) Msync(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, length uint64) error {
+	began := t.Now()
 	t.Charge(cost.FsyncFixed)
 	m.Sem.RLock(t, cost.SemAcquireFast)
 	v := m.FindVMA(t, va)
@@ -653,6 +694,7 @@ func (m *MM) Msync(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, length uint64
 	m.Stats.MsyncPages += flushed
 	m.Sem.RUnlock(t, cost.SemReleaseFast)
 	m.fs.Fsync(t, in)
+	m.Trace.Emit(obs.EvMsync, coreID(core), began, t.Now()-began, "", flushed)
 	return nil
 }
 

@@ -1,0 +1,35 @@
+// Package obs is the unified observability layer of the simulated machine:
+// a metrics registry where every subsystem publishes its counters under a
+// dotted namespace (tlb.shootdowns, mm.lock.wait_cycles, ext4.journal.commits,
+// core.prezero.batches, ...), log2-bucket histograms for latency
+// distributions (page walks, fault service), and a bounded virtual-time
+// event tracer exportable as Chrome trace-event JSON (one track per
+// simulated core, viewable in Perfetto).
+//
+// The package is dependency-free by design: subsystems pass virtual
+// timestamps and core ids explicitly, so every layer of the simulator —
+// sim engine, MMU, TLB, file systems, DaxVM extension — can emit without
+// import cycles. All entry points are nil-receiver safe, so an unwired
+// subsystem pays one branch.
+package obs
+
+// DefaultTraceCap bounds the event ring when the caller does not choose:
+// large enough to hold the tail of any experiment, small enough that an
+// always-on tracer is free.
+const DefaultTraceCap = 1 << 16
+
+// Obs bundles the registry and tracer one machine (or one experiment run,
+// when shared across machines) collects into.
+type Obs struct {
+	Reg   *Registry
+	Trace *Tracer
+}
+
+// New creates an observability hub with a trace ring of traceCap events
+// (0 selects DefaultTraceCap).
+func New(traceCap int) *Obs {
+	if traceCap == 0 {
+		traceCap = DefaultTraceCap
+	}
+	return &Obs{Reg: NewRegistry(), Trace: NewTracer(traceCap)}
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Event types emitted by the simulator. Kept as strings so the trace and
+// tests read naturally; comparisons are infrequent (export time only).
+const (
+	EvPageFault      = "page_fault"
+	EvWPFault        = "wp_fault"
+	EvMmap           = "mmap"
+	EvMunmap         = "munmap"
+	EvMsync          = "msync"
+	EvDaxvmMmap      = "daxvm_mmap"
+	EvDaxvmMunmap    = "daxvm_munmap"
+	EvShootdown      = "tlb_shootdown"
+	EvJournalCommit  = "journal_commit"
+	EvPrezeroBatch   = "prezero_batch"
+	EvZombieFlush    = "zombie_flush"
+	EvMonitorMigrate = "monitor_migrate"
+	EvLockContention = "lock_contention"
+)
+
+// Event is one traced occurrence in virtual time.
+type Event struct {
+	TS   uint64 // virtual start time, cycles
+	Dur  uint64 // duration in cycles (0 = instant)
+	Core int    // simulated core (trace track)
+	Type string // one of the Ev* constants
+	Tag  string // free-form label (lock name, shootdown kind, ...)
+	Arg  uint64 // type-specific payload (pages, blocks, bytes)
+}
+
+// Tracer is a bounded ring of events. When full it overwrites the oldest,
+// keeping the tail of the run and counting what it dropped; an always-on
+// tracer therefore has fixed memory cost. Safe for concurrent emitters
+// (the sim is single-threaded, but -race and multi-engine setups are not).
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped uint64
+
+	// CyclesPerUsec converts virtual cycles to trace microseconds on
+	// export (default 2700, the simulator's 2.7 GHz clock).
+	CyclesPerUsec float64
+}
+
+// NewTracer creates a tracer holding at most capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{buf: make([]Event, 0, capacity), CyclesPerUsec: 2700}
+}
+
+// Emit records one event. Nil-safe: unwired subsystems pay one branch.
+func (tr *Tracer) Emit(typ string, core int, ts, dur uint64, tag string, arg uint64) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	e := Event{TS: ts, Dur: dur, Core: core, Type: typ, Tag: tag, Arg: arg}
+	if len(tr.buf) < cap(tr.buf) {
+		tr.buf = append(tr.buf, e)
+	} else {
+		tr.buf[tr.next] = e
+		tr.next = (tr.next + 1) % cap(tr.buf)
+		tr.wrapped = true
+		tr.dropped++
+	}
+	tr.mu.Unlock()
+}
+
+// Events returns a copy of the retained events in emission order.
+func (tr *Tracer) Events() []Event {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]Event, 0, len(tr.buf))
+	if tr.wrapped {
+		out = append(out, tr.buf[tr.next:]...)
+		out = append(out, tr.buf[:tr.next]...)
+	} else {
+		out = append(out, tr.buf...)
+	}
+	return out
+}
+
+// Len reports retained events; Dropped reports overwritten ones.
+func (tr *Tracer) Len() int {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.buf)
+}
+
+// Dropped reports how many events the ring overwrote.
+func (tr *Tracer) Dropped() uint64 {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.dropped
+}
+
+// WriteChromeTrace exports the retained events as Chrome trace-event JSON
+// (the {"traceEvents": [...]} object form) viewable in Perfetto or
+// chrome://tracing. Each simulated core is one track (tid); events with a
+// duration render as complete ("X") slices, instants as "i" marks.
+// Timestamps are virtual cycles converted to microseconds.
+func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := tr.Events()
+	cpu := tr.CyclesPerUsec
+	if cpu <= 0 {
+		cpu = 2700
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	// Name the core tracks.
+	cores := map[int]bool{}
+	for _, e := range events {
+		cores[e.Core] = true
+	}
+	ids := make([]int, 0, len(cores))
+	for c := range cores {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+	first := true
+	emit := func(s string) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.WriteString(s)
+		return err
+	}
+	for _, c := range ids {
+		meta := fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"core %d"}}`, c, c)
+		if err := emit(meta); err != nil {
+			return err
+		}
+	}
+	usec := func(cycles uint64) string {
+		return strconv.FormatFloat(float64(cycles)/cpu, 'f', 3, 64)
+	}
+	for _, e := range events {
+		var line string
+		args := fmt.Sprintf(`{"cycles":%d,"arg":%d,"tag":%s}`, e.TS, e.Arg, strconv.Quote(e.Tag))
+		if e.Dur > 0 {
+			line = fmt.Sprintf(`{"name":%s,"cat":"sim","ph":"X","ts":%s,"dur":%s,"pid":0,"tid":%d,"args":%s}`,
+				strconv.Quote(e.Type), usec(e.TS), usec(e.Dur), e.Core, args)
+		} else {
+			line = fmt.Sprintf(`{"name":%s,"cat":"sim","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":%s}`,
+				strconv.Quote(e.Type), usec(e.TS), e.Core, args)
+		}
+		if err := emit(line); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

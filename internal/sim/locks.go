@@ -8,6 +8,12 @@ type LockStats struct {
 	HoldCycles   uint64 // total virtual cycles the lock was held
 }
 
+// ContentionFn observes one contended acquisition after the wait ends:
+// kind names the lock flavour ("mutex", "spinlock", "read", "write"), and
+// the wait spanned [waitStart, t.Now()). Wired by the kernel to the
+// observability tracer; nil costs one branch.
+type ContentionFn func(t *Thread, kind string, waitStart uint64)
+
 // Mutex is a sleeping virtual-time mutex (FIFO). Waiters block and pay a
 // scheduler wakeup cost when resumed, mirroring a kernel sleeping lock.
 type Mutex struct {
@@ -16,6 +22,9 @@ type Mutex struct {
 	acquiredAt uint64
 	wakeCost   uint64
 	Stats      LockStats
+
+	// OnContended, when set, observes each contended acquisition.
+	OnContended ContentionFn
 }
 
 // NewMutex creates a sleeping mutex whose waiters pay wakeCost cycles on
@@ -41,6 +50,9 @@ func (m *Mutex) Lock(t *Thread, acqCost uint64) {
 	t.Charge(m.wakeCost)
 	m.Stats.WaitCycles += t.Now() - start
 	m.acquiredAt = t.Now()
+	if m.OnContended != nil {
+		m.OnContended(t, "mutex", start)
+	}
 }
 
 // Unlock releases the mutex, charging relCost, and hands ownership to the
@@ -71,6 +83,9 @@ type SpinLock struct {
 	waiters    []*Thread
 	acquiredAt uint64
 	Stats      LockStats
+
+	// OnContended, when set, observes each contended acquisition.
+	OnContended ContentionFn
 }
 
 // Lock acquires the spinlock, charging acqCost for the uncontended path.
@@ -89,6 +104,9 @@ func (s *SpinLock) Lock(t *Thread, acqCost uint64) {
 	t.Block("spinlock")
 	s.Stats.WaitCycles += t.Now() - start
 	s.acquiredAt = t.Now()
+	if s.OnContended != nil {
+		s.OnContended(t, "spinlock", start)
+	}
 }
 
 // Unlock releases the spinlock and hands it to the first spinner.
@@ -123,6 +141,10 @@ type RWSem struct {
 
 	Stats       LockStats
 	ReaderStats LockStats
+
+	// OnContended, when set, observes each contended acquisition
+	// (kind "read" or "write").
+	OnContended ContentionFn
 }
 
 type semWaiter struct {
@@ -159,6 +181,9 @@ func (s *RWSem) RLock(t *Thread, acqCost uint64) {
 	t.Block("rwsem-read")
 	t.Charge(s.wakeCost)
 	s.ReaderStats.WaitCycles += t.Now() - start
+	if s.OnContended != nil {
+		s.OnContended(t, "read", start)
+	}
 }
 
 // RUnlock releases shared mode.
@@ -191,6 +216,9 @@ func (s *RWSem) Lock(t *Thread, acqCost uint64) {
 	t.Charge(s.wakeCost)
 	s.Stats.WaitCycles += t.Now() - start
 	s.acquiredAt = t.Now()
+	if s.OnContended != nil {
+		s.OnContended(t, "write", start)
+	}
 }
 
 // Unlock releases exclusive mode.

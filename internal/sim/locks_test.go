@@ -1,0 +1,119 @@
+package sim
+
+import "testing"
+
+// lockIface lets one scenario drive Mutex and SpinLock identically.
+type lockIface interface {
+	Lock(t *Thread, acqCost uint64)
+	Unlock(t *Thread, relCost uint64)
+	stats() *LockStats
+	setOnContended(fn ContentionFn)
+}
+
+type mutexUnderTest struct{ *Mutex }
+
+func (m mutexUnderTest) stats() *LockStats              { return &m.Mutex.Stats }
+func (m mutexUnderTest) setOnContended(fn ContentionFn) { m.Mutex.OnContended = fn }
+
+type spinUnderTest struct{ *SpinLock }
+
+func (s spinUnderTest) stats() *LockStats              { return &s.SpinLock.Stats }
+func (s spinUnderTest) setOnContended(fn ContentionFn) { s.SpinLock.OnContended = fn }
+
+// TestLockStatsContention runs a deterministic two-thread scenario and
+// checks every LockStats field: A acquires at t=0 and holds for 100
+// cycles; B arrives at t=10, waits until the handoff at t=100 (90 cycles
+// of wait), then holds for 50.
+func TestLockStatsContention(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() lockIface
+	}{
+		{"mutex", func() lockIface { return mutexUnderTest{NewMutex(0)} }},
+		{"spinlock", func() lockIface { return spinUnderTest{&SpinLock{}} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New()
+			l := tc.mk()
+			type contention struct {
+				kind      string
+				waitStart uint64
+				end       uint64
+			}
+			var seen []contention
+			l.setOnContended(func(th *Thread, kind string, waitStart uint64) {
+				seen = append(seen, contention{kind, waitStart, th.Now()})
+			})
+			e.Go("a", 0, 0, func(th *Thread) {
+				l.Lock(th, 0)
+				th.Charge(100)
+				l.Unlock(th, 0)
+			})
+			e.Go("b", 1, 10, func(th *Thread) {
+				l.Lock(th, 0)
+				th.Charge(50)
+				l.Unlock(th, 0)
+			})
+			e.Run()
+
+			s := l.stats()
+			if s.Acquisitions != 2 {
+				t.Errorf("Acquisitions = %d, want 2", s.Acquisitions)
+			}
+			if s.Contended != 1 {
+				t.Errorf("Contended = %d, want 1", s.Contended)
+			}
+			if s.WaitCycles != 90 {
+				t.Errorf("WaitCycles = %d, want 90", s.WaitCycles)
+			}
+			if s.HoldCycles != 150 {
+				t.Errorf("HoldCycles = %d, want 150 (100 by A + 50 by B)", s.HoldCycles)
+			}
+			if got := s.Contention(); got != 0.5 {
+				t.Errorf("Contention() = %v, want 0.5", got)
+			}
+			if len(seen) != 1 {
+				t.Fatalf("OnContended fired %d times, want 1", len(seen))
+			}
+			if seen[0].kind != tc.name {
+				t.Errorf("contention kind = %q, want %q", seen[0].kind, tc.name)
+			}
+			if seen[0].waitStart != 10 || seen[0].end != 100 {
+				t.Errorf("contention window = [%d,%d), want [10,100)", seen[0].waitStart, seen[0].end)
+			}
+		})
+	}
+}
+
+// TestRWSemReaderStats checks the reader-side stats and the "read"
+// contention callback: a writer holds the sem for 100 cycles while a
+// reader arrives at t=10 and must wait for the handoff.
+func TestRWSemReaderStats(t *testing.T) {
+	e := New()
+	s := NewRWSem(0)
+	var kinds []string
+	s.OnContended = func(th *Thread, kind string, waitStart uint64) {
+		kinds = append(kinds, kind)
+	}
+	e.Go("w", 0, 0, func(th *Thread) {
+		s.Lock(th, 0)
+		th.Charge(100)
+		s.Unlock(th, 0)
+	})
+	e.Go("r", 1, 10, func(th *Thread) {
+		s.RLock(th, 0)
+		th.Charge(20)
+		s.RUnlock(th, 0)
+	})
+	e.Run()
+	if s.ReaderStats.Acquisitions != 1 || s.ReaderStats.Contended != 1 {
+		t.Fatalf("reader stats = %+v", s.ReaderStats)
+	}
+	if s.ReaderStats.WaitCycles != 90 {
+		t.Fatalf("reader WaitCycles = %d, want 90", s.ReaderStats.WaitCycles)
+	}
+	if len(kinds) != 1 || kinds[0] != "read" {
+		t.Fatalf("contention kinds = %v, want [read]", kinds)
+	}
+}
