@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet test race smoke clean
+.PHONY: ci build fmt vet test race smoke perf-gate baseline clean
 
-ci: fmt vet build test race smoke
+ci: fmt vet build test race smoke perf-gate
+
+# Experiments the perf gate runs: cheap, deterministic, and together they
+# exercise the journal, allocator, file tables and mapped-access paths.
+GATE_IDS = storage ftcost
 
 build:
 	$(GO) build ./...
@@ -35,6 +39,26 @@ smoke:
 	$(GO) test ./internal/bench/ -run TestArtifactSmoke -count=1 >/dev/null && \
 	echo "smoke: BENCH_storage.json written and schema-validated"; \
 	rc=$$?; rm -rf "$$tmp"; exit $$rc
+
+# Perf-regression gate: rerun the gate experiments in quick mode and
+# compare each artifact against the committed baseline. The simulator is
+# deterministic, so any drift is a real cost-model change — exit 1 tells
+# the committer to either fix it or refresh the baseline (make baseline)
+# with justification.
+perf-gate:
+	@tmp="$$(mktemp -d)"; rc=0; \
+	$(GO) run ./cmd/daxbench -quick -metrics-out "$$tmp" $(GATE_IDS) >/dev/null || rc=1; \
+	for id in $(GATE_IDS); do \
+		$(GO) run ./cmd/daxbench -compare "bench/baseline/BENCH_$$id.json" "$$tmp/BENCH_$$id.json" || rc=1; \
+	done; \
+	rm -rf "$$tmp"; \
+	if [ $$rc -eq 0 ]; then echo "perf-gate: ok"; else echo "perf-gate: FAILED"; fi; exit $$rc
+
+# Refresh the committed perf-gate baselines (review the diff before
+# committing: every change here is a deliberate cost-model retune).
+baseline:
+	$(GO) run ./cmd/daxbench -quick -metrics-out bench/baseline $(GATE_IDS) >/dev/null
+	@echo "baseline: refreshed bench/baseline/ for: $(GATE_IDS)"
 
 clean:
 	$(GO) clean ./...

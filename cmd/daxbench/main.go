@@ -6,11 +6,18 @@
 //	daxbench list                 # list experiment ids
 //	daxbench all [-quick]         # run everything
 //	daxbench <id> [...] [-quick]  # run specific experiments (fig4, table2, ...)
+//	daxbench -compare old.json new.json   # perf-regression gate
 //
 // Observability:
 //
 //	-trace out.json      write a Chrome trace of the run (open in Perfetto)
 //	-metrics-out dir     write a BENCH_<id>.json artifact per experiment
+//	-profile-out out.folded  write the cycle profile as folded stacks
+//	                         (feed to flamegraph.pl or speedscope)
+//
+// Compare exits 0 when the new artifact is within tolerance of the old,
+// 1 on regression, 2 when the artifacts are not comparable (different
+// experiment or config) or unreadable.
 package main
 
 import (
@@ -24,11 +31,16 @@ import (
 	"daxvm/internal/obs"
 )
 
+// profileTopN bounds the per-experiment cycle table printed on stdout.
+const profileTopN = 12
+
 func main() {
 	quick := flag.Bool("quick", false, "shrink working sets for a fast pass")
 	verbose := flag.Bool("v", false, "stream per-configuration progress")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of the run to this file")
 	metricsDir := flag.String("metrics-out", "", "write a BENCH_<id>.json artifact per experiment into this directory")
+	profilePath := flag.String("profile-out", "", "write the run's cycle profile as folded stacks to this file")
+	compare := flag.Bool("compare", false, "compare two artifacts: daxbench -compare old.json new.json")
 	flag.Parse()
 	// Accept flags after the command too (flag stops at positionals).
 	args := make([]string, 0, flag.NArg())
@@ -40,20 +52,32 @@ func main() {
 			*quick = true
 		case "-v", "--v":
 			*verbose = true
-		case "-trace", "--trace", "-metrics-out", "--metrics-out":
+		case "-compare", "--compare":
+			*compare = true
+		case "-trace", "--trace", "-metrics-out", "--metrics-out", "-profile-out", "--profile-out":
 			if i+1 >= len(rest) {
 				fmt.Fprintf(os.Stderr, "%s needs a value\n", a)
 				os.Exit(2)
 			}
 			i++
-			if a == "-trace" || a == "--trace" {
+			switch a {
+			case "-trace", "--trace":
 				*tracePath = rest[i]
-			} else {
+			case "-metrics-out", "--metrics-out":
 				*metricsDir = rest[i]
+			default:
+				*profilePath = rest[i]
 			}
 		default:
 			args = append(args, a)
 		}
+	}
+	if *compare {
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: daxbench -compare old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(args[0], args[1]))
 	}
 	if len(args) == 0 {
 		usage()
@@ -64,11 +88,11 @@ func main() {
 	if *verbose {
 		opts.Log = os.Stderr
 	}
-	if *tracePath != "" || *metricsDir != "" {
+	if *tracePath != "" || *metricsDir != "" || *profilePath != "" {
 		opts.Obs = obs.New(0)
 	}
 
-	r := runner{opts: opts, metricsDir: *metricsDir}
+	r := &runner{opts: opts, metricsDir: *metricsDir}
 	switch args[0] {
 	case "list":
 		for _, e := range bench.All() {
@@ -98,18 +122,77 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[trace: %d events -> %s (%d dropped); open in https://ui.perfetto.dev]\n",
 			opts.Obs.Trace.Len(), *tracePath, opts.Obs.Trace.Dropped())
 	}
+	if *profilePath != "" {
+		if err := writeProfile(opts.Obs, *profilePath); err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[profile: %d cycles attributed -> %s (folded stacks)]\n",
+			opts.Obs.Cycles.Total(), *profilePath)
+	}
+}
+
+func runCompare(oldPath, newPath string) int {
+	oldRaw, err := os.ReadFile(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return 2
+	}
+	newRaw, err := os.ReadFile(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return 2
+	}
+	rep, err := bench.CompareArtifacts(oldRaw, newRaw)
+	if err != nil {
+		// Invalid or non-comparable artifacts (MismatchError) — not a
+		// measured regression, so a distinct exit code.
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
+	if len(rep.Regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "REGRESSION %s: %d of %d checks failed\n", rep.ID, len(rep.Regressions), rep.Checked)
+		for _, reg := range rep.Regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", reg)
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "ok %s: %d checks within tolerance\n", rep.ID, rep.Checked)
+	return 0
 }
 
 type runner struct {
 	opts       bench.Options
 	metricsDir string
+
+	// Per-run cumulative state: the obs hub accumulates across
+	// experiments, so each experiment's share is a delta.
+	prevCycles obs.CycleSnapshot
+	prevReg    obs.Snapshot
 }
 
-func (r runner) runOne(e bench.Experiment) {
+func (r *runner) runOne(e bench.Experiment) {
 	start := time.Now()
 	res := e.Run(r.opts)
 	bench.Render(os.Stdout, res)
 	fmt.Fprintf(os.Stderr, "[%s finished in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+
+	var cycleDelta *obs.CycleSnapshot
+	if o := r.opts.Obs; o != nil {
+		cycles := o.Cycles.Snapshot()
+		reg := o.Reg.Snapshot()
+		d := cycles.Delta(r.prevCycles)
+		regDelta := reg.Delta(r.prevReg)
+		r.prevCycles, r.prevReg = cycles, reg
+		cycleDelta = &d
+
+		fmt.Printf("-- cycle attribution (%s, top %d) --\n", e.ID, profileTopN)
+		d.WriteTable(os.Stdout, profileTopN)
+		printLatency(regDelta, "cpu.walk_latency", "page walk")
+		printLatency(regDelta, "mm.fault_latency", "fault service")
+		fmt.Println()
+	}
+
 	if r.metricsDir == "" {
 		return
 	}
@@ -119,11 +202,21 @@ func (r runner) runOne(e bench.Experiment) {
 		snap = &s
 	}
 	path := filepath.Join(r.metricsDir, "BENCH_"+e.ID+".json")
-	if err := writeArtifact(bench.NewArtifact(res, r.opts.Quick, snap), path); err != nil {
+	if err := writeArtifact(bench.NewArtifact(res, r.opts.Quick, snap, cycleDelta), path); err != nil {
 		fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "[metrics: %s]\n", path)
+}
+
+// printLatency prints the p50/p99 of one latency histogram's delta.
+func printLatency(d obs.Snapshot, name, label string) {
+	h, ok := d.Hists[name]
+	if !ok || h.Count == 0 {
+		return
+	}
+	fmt.Printf("  %-14s p50 ~%.0f cyc, p99 ~%.0f cyc  (%d samples)\n",
+		label, h.Quantile(0.50), h.Quantile(0.99), h.Count)
 }
 
 func writeArtifact(a *bench.Artifact, path string) error {
@@ -153,10 +246,23 @@ func writeTrace(o *obs.Obs, path string) error {
 	return f.Close()
 }
 
+func writeProfile(o *obs.Obs, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Cycles.Snapshot().WriteFolded(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `daxbench — DaxVM (MICRO'22) evaluation reproduction
 usage:
   daxbench list
-  daxbench all [-quick] [-v] [-trace out.json] [-metrics-out dir]
-  daxbench <id> [<id>...] [-quick] [-v] [-trace out.json] [-metrics-out dir]`)
+  daxbench all [-quick] [-v] [-trace out.json] [-metrics-out dir] [-profile-out out.folded]
+  daxbench <id> [<id>...] [-quick] [-v] [-trace out.json] [-metrics-out dir] [-profile-out out.folded]
+  daxbench -compare old.json new.json`)
 }

@@ -3,43 +3,86 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"os"
+	"runtime/debug"
 
 	"daxvm/internal/obs"
 )
 
-// ArtifactSchema identifies the per-experiment JSON artifact format.
-const ArtifactSchema = "daxvm-bench/v1"
+// ArtifactSchema identifies the current per-experiment JSON artifact
+// format. v2 adds provenance (git_sha, config_hash) and the cycle
+// breakdown; v1 artifacts remain readable (ValidateArtifact accepts both).
+const (
+	ArtifactSchema   = "daxvm-bench/v2"
+	ArtifactSchemaV1 = "daxvm-bench/v1"
+)
 
 // Artifact is the machine-readable outcome of one experiment run, written
 // as BENCH_<id>.json. Metrics mirror Result.Metrics; Snapshot, when
-// present, is the observability registry state after the run.
+// present, is the observability registry state after the run;
+// CycleBreakdown, when present, is the cycle-attribution delta for this
+// experiment alone.
 type Artifact struct {
-	Schema   string             `json:"schema"`
-	ID       string             `json:"id"`
-	Title    string             `json:"title"`
-	Quick    bool               `json:"quick"`
-	Metrics  map[string]float64 `json:"metrics"`
-	Notes    []string           `json:"notes,omitempty"`
-	Snapshot *obs.Snapshot      `json:"snapshot,omitempty"`
+	Schema         string             `json:"schema"`
+	ID             string             `json:"id"`
+	Title          string             `json:"title"`
+	Quick          bool               `json:"quick"`
+	GitSHA         string             `json:"git_sha,omitempty"`
+	ConfigHash     string             `json:"config_hash,omitempty"`
+	Metrics        map[string]float64 `json:"metrics"`
+	Notes          []string           `json:"notes,omitempty"`
+	Snapshot       *obs.Snapshot      `json:"snapshot,omitempty"`
+	CycleBreakdown *obs.CycleSnapshot `json:"cycle_breakdown,omitempty"`
 }
 
 // NewArtifact packages a result (and optionally the post-run registry
-// snapshot) for serialization.
-func NewArtifact(r *Result, quick bool, snap *obs.Snapshot) *Artifact {
+// snapshot and cycle breakdown) for serialization.
+func NewArtifact(r *Result, quick bool, snap *obs.Snapshot, cycles *obs.CycleSnapshot) *Artifact {
 	m := r.Metrics
 	if m == nil {
 		m = map[string]float64{}
 	}
 	return &Artifact{
-		Schema:   ArtifactSchema,
-		ID:       r.ID,
-		Title:    r.Title,
-		Quick:    quick,
-		Metrics:  m,
-		Notes:    r.Notes,
-		Snapshot: snap,
+		Schema:         ArtifactSchema,
+		ID:             r.ID,
+		Title:          r.Title,
+		Quick:          quick,
+		GitSHA:         gitSHA(),
+		ConfigHash:     configHash(r.ID, quick),
+		Metrics:        m,
+		Notes:          r.Notes,
+		Snapshot:       snap,
+		CycleBreakdown: cycles,
 	}
+}
+
+// gitSHA resolves the source revision the binary was built from:
+// DAXVM_GIT_SHA wins (CI sets it), then the vcs.revision embedded by the
+// go toolchain, then "unknown" (e.g. `go test` builds without VCS stamps).
+func gitSHA() string {
+	if sha := os.Getenv("DAXVM_GIT_SHA"); sha != "" {
+		return sha
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}
+
+// configHash fingerprints the run configuration that determines an
+// artifact's numbers. Comparing artifacts with different hashes is
+// meaningless (quick vs full working sets, different experiments), so
+// the comparator refuses them.
+func configHash(id string, quick bool) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|quick=%v", id, quick)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // WriteArtifact serializes the artifact as indented JSON.
@@ -49,10 +92,11 @@ func (a *Artifact) WriteArtifact(w io.Writer) error {
 	return enc.Encode(a)
 }
 
-// ValidateArtifact checks raw bytes against the daxvm-bench/v1 schema:
-// required fields present with the right JSON types, schema id matching,
-// metric values finite numbers. Hand-rolled — the toolchain has no JSON
-// Schema validator and the format is small enough not to want one.
+// ValidateArtifact checks raw bytes against the artifact schema:
+// required fields present with the right JSON types, schema id matching
+// (v1 or v2), metric values finite numbers. Hand-rolled — the toolchain
+// has no JSON Schema validator and the format is small enough not to
+// want one.
 func ValidateArtifact(raw []byte) error {
 	var top map[string]json.RawMessage
 	if err := json.Unmarshal(raw, &top); err != nil {
@@ -62,8 +106,8 @@ func ValidateArtifact(raw []byte) error {
 	if err := unmarshalField(top, "schema", &schema); err != nil {
 		return err
 	}
-	if schema != ArtifactSchema {
-		return fmt.Errorf("artifact: schema %q, want %q", schema, ArtifactSchema)
+	if schema != ArtifactSchema && schema != ArtifactSchemaV1 {
+		return fmt.Errorf("artifact: schema %q, want %q or %q", schema, ArtifactSchema, ArtifactSchemaV1)
 	}
 	var id, title string
 	if err := unmarshalField(top, "id", &id); err != nil {
@@ -83,10 +127,32 @@ func ValidateArtifact(raw []byte) error {
 	if err := unmarshalField(top, "metrics", &metrics); err != nil {
 		return err
 	}
+	if schema == ArtifactSchema {
+		// v2 requires provenance.
+		var sha, cfg string
+		if err := unmarshalField(top, "git_sha", &sha); err != nil {
+			return err
+		}
+		if sha == "" {
+			return fmt.Errorf("artifact: empty git_sha")
+		}
+		if err := unmarshalField(top, "config_hash", &cfg); err != nil {
+			return err
+		}
+		if cfg == "" {
+			return fmt.Errorf("artifact: empty config_hash")
+		}
+	}
 	if snap, ok := top["snapshot"]; ok {
 		var s obs.Snapshot
 		if err := json.Unmarshal(snap, &s); err != nil {
 			return fmt.Errorf("artifact: bad snapshot: %w", err)
+		}
+	}
+	if cb, ok := top["cycle_breakdown"]; ok {
+		var c obs.CycleSnapshot
+		if err := json.Unmarshal(cb, &c); err != nil {
+			return fmt.Errorf("artifact: bad cycle_breakdown: %w", err)
 		}
 	}
 	return nil

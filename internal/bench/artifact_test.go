@@ -9,7 +9,7 @@ import (
 )
 
 // TestArtifactSmoke runs one cheap experiment end to end and validates
-// the JSON artifact it produces against the daxvm-bench/v1 schema.
+// the JSON artifact it produces against the daxvm-bench/v2 schema.
 func TestArtifactSmoke(t *testing.T) {
 	e, ok := ByID("storage")
 	if !ok {
@@ -22,7 +22,8 @@ func TestArtifactSmoke(t *testing.T) {
 	}
 
 	snap := o.Reg.Snapshot()
-	a := NewArtifact(r, true, &snap)
+	cycles := o.Cycles.Snapshot()
+	a := NewArtifact(r, true, &snap, &cycles)
 	var buf bytes.Buffer
 	if err := a.WriteArtifact(&buf); err != nil {
 		t.Fatal(err)
@@ -41,13 +42,26 @@ func TestArtifactSmoke(t *testing.T) {
 			t.Errorf("%s = 0: experiment activity did not reach the registry", name)
 		}
 	}
+
+	// v2 provenance and the cycle breakdown must make it to disk.
+	if a.GitSHA == "" || a.ConfigHash == "" {
+		t.Errorf("missing provenance: git_sha=%q config_hash=%q", a.GitSHA, a.ConfigHash)
+	}
+	if cycles.Total == 0 || len(cycles.Leaves) == 0 {
+		t.Error("cycle breakdown empty — charge sink was not wired into boot()")
+	}
 }
 
 // TestValidateArtifactRejects exercises the validator's failure modes.
 func TestValidateArtifactRejects(t *testing.T) {
+	// v1 artifacts (no provenance fields) must stay accepted.
 	valid := `{"schema":"daxvm-bench/v1","id":"x","title":"t","quick":true,"metrics":{"a":1}}`
 	if err := ValidateArtifact([]byte(valid)); err != nil {
-		t.Fatalf("valid artifact rejected: %v", err)
+		t.Fatalf("valid v1 artifact rejected: %v", err)
+	}
+	validV2 := `{"schema":"daxvm-bench/v2","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"0011223344556677","metrics":{"a":1},"cycle_breakdown":{"total":10,"leaves":{"app":{"cycles":10,"count":1}}}}`
+	if err := ValidateArtifact([]byte(validV2)); err != nil {
+		t.Fatalf("valid v2 artifact rejected: %v", err)
 	}
 	cases := []struct {
 		name, raw, wantErr string
@@ -59,6 +73,9 @@ func TestValidateArtifactRejects(t *testing.T) {
 		{"bad-metrics", `{"schema":"daxvm-bench/v1","id":"x","title":"t","quick":true,"metrics":{"a":"NaN"}}`, `field "metrics"`},
 		{"bad-quick", `{"schema":"daxvm-bench/v1","id":"x","title":"t","quick":"yes","metrics":{}}`, `field "quick"`},
 		{"bad-snapshot", `{"schema":"daxvm-bench/v1","id":"x","title":"t","quick":true,"metrics":{},"snapshot":42}`, "bad snapshot"},
+		{"v2-missing-sha", `{"schema":"daxvm-bench/v2","id":"x","title":"t","quick":true,"config_hash":"00","metrics":{}}`, `missing required field "git_sha"`},
+		{"v2-empty-confhash", `{"schema":"daxvm-bench/v2","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"","metrics":{}}`, "empty config_hash"},
+		{"v2-bad-breakdown", `{"schema":"daxvm-bench/v2","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"00","metrics":{},"cycle_breakdown":[]}`, "bad cycle_breakdown"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"daxvm/internal/obs"
+)
+
+func mkArtifact(t *testing.T, mutate func(a *Artifact)) []byte {
+	t.Helper()
+	a := &Artifact{
+		Schema:     ArtifactSchema,
+		ID:         "ftcost",
+		Title:      "File-table maintenance overhead on appends",
+		Quick:      true,
+		GitSHA:     "baseline-sha",
+		ConfigHash: configHash("ftcost", true),
+		Metrics: map[string]float64{
+			"overhead-pct/4.0M": 3.2,
+			"64K/daxvm":         1_500_000,
+		},
+		CycleBreakdown: &obs.CycleSnapshot{
+			Total: 1_000_000,
+			Leaves: map[string]obs.CycleLeaf{
+				"app.syscall.append.journal.commit": {Cycles: 200_000, Count: 50},
+				"app.syscall.append.ntstore":        {Cycles: 700_000, Count: 500},
+				"app.tiny":                          {Cycles: 1_000, Count: 3},
+			},
+		},
+	}
+	if mutate != nil {
+		mutate(a)
+	}
+	raw, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestCompareDetectsJournalInflation is the issue's acceptance check: a
+// 10% inflation of the JournalCommit cost must surface as a cycle-leaf
+// regression (10% > the 5% cycle tolerance).
+func TestCompareDetectsJournalInflation(t *testing.T) {
+	base := mkArtifact(t, nil)
+	inflated := mkArtifact(t, func(a *Artifact) {
+		l := a.CycleBreakdown.Leaves["app.syscall.append.journal.commit"]
+		l.Cycles = l.Cycles * 110 / 100
+		a.CycleBreakdown.Leaves["app.syscall.append.journal.commit"] = l
+		a.CycleBreakdown.Total += l.Cycles - 200_000
+		a.GitSHA = "new-sha" // sha differences alone must not matter
+	})
+	rep, err := CompareArtifacts(base, inflated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit bool
+	for _, r := range rep.Regressions {
+		if r.Name == "cycles:app.syscall.append.journal.commit" {
+			hit = true
+			if r.RelChange < 0.09 || r.RelChange > 0.11 {
+				t.Fatalf("relative change = %v, want ~0.10", r.RelChange)
+			}
+		}
+		if strings.HasPrefix(r.Name, "cycles:app.tiny") {
+			t.Fatal("sub-min-share leaf flagged")
+		}
+	}
+	if !hit {
+		t.Fatalf("journal.commit inflation not detected; regressions = %v", rep.Regressions)
+	}
+}
+
+func TestCompareCleanPair(t *testing.T) {
+	rep, err := CompareArtifacts(mkArtifact(t, nil), mkArtifact(t, func(a *Artifact) {
+		a.GitSHA = "other-sha"
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("clean pair flagged: %v", rep.Regressions)
+	}
+	if rep.Checked == 0 {
+		t.Fatal("nothing checked")
+	}
+}
+
+func TestCompareMetricDirections(t *testing.T) {
+	// Throughput shrinking past 10% regresses; growing does not.
+	slow := mkArtifact(t, func(a *Artifact) { a.Metrics["64K/daxvm"] = 1_200_000 })
+	rep, err := CompareArtifacts(mkArtifact(t, nil), slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Name != "64K/daxvm" {
+		t.Fatalf("regressions = %v", rep.Regressions)
+	}
+	// Overhead percentage growing past 10% regresses (lower is better).
+	worse := mkArtifact(t, func(a *Artifact) { a.Metrics["overhead-pct/4.0M"] = 4.0 })
+	rep, err = CompareArtifacts(mkArtifact(t, nil), worse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Name != "overhead-pct/4.0M" {
+		t.Fatalf("regressions = %v", rep.Regressions)
+	}
+	// A vanished metric is always a regression.
+	missing := mkArtifact(t, func(a *Artifact) { delete(a.Metrics, "64K/daxvm") })
+	rep, err = CompareArtifacts(mkArtifact(t, nil), missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0].Name, "missing") {
+		t.Fatalf("regressions = %v", rep.Regressions)
+	}
+}
+
+func TestCompareRefusesCrossConfig(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(a *Artifact)
+	}{
+		{"quick-vs-full", func(a *Artifact) { a.Quick = false; a.ConfigHash = configHash(a.ID, false) }},
+		{"different-experiment", func(a *Artifact) { a.ID = "storage"; a.ConfigHash = configHash("storage", true) }},
+		{"config-hash-drift", func(a *Artifact) { a.ConfigHash = "deadbeefdeadbeef" }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := CompareArtifacts(mkArtifact(t, nil), mkArtifact(t, c.mutate))
+			var mm *MismatchError
+			if !errors.As(err, &mm) {
+				t.Fatalf("err = %v, want MismatchError", err)
+			}
+		})
+	}
+}
+
+// TestCompareAcceptsV1Baseline keeps old baselines usable: a v1 artifact
+// has no provenance or breakdown, so only metrics are compared.
+func TestCompareAcceptsV1Baseline(t *testing.T) {
+	v1 := []byte(`{"schema":"daxvm-bench/v1","id":"ftcost","title":"t","quick":true,"metrics":{"64K/daxvm":1500000}}`)
+	rep, err := CompareArtifacts(v1, mkArtifact(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("regressions = %v", rep.Regressions)
+	}
+}

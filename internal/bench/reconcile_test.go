@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"testing"
+
+	"daxvm/internal/obs"
+)
+
+// TestCycleReconciliation asserts the profiler's core invariant on real
+// experiment runs: every cycle an engine charges lands in the cycle
+// account — no charge path bypasses attribution, nothing is double
+// booked. Idle and lock-wait time advance thread clocks without Charge
+// calls, so both sides of the comparison exclude them by construction.
+func TestCycleReconciliation(t *testing.T) {
+	for _, id := range []string{"storage", "ftcost"} {
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("%s not registered", id)
+			}
+			o := obs.New(0)
+			e.Run(Options{Quick: true, Obs: o})
+			attributed := o.Cycles.Total()
+			charged := o.EnginesTotal()
+			if attributed == 0 {
+				t.Fatal("no cycles attributed — charge sink not wired")
+			}
+			if attributed != charged {
+				t.Fatalf("attributed %d != engine-charged %d (drift %d)",
+					attributed, charged, int64(attributed)-int64(charged))
+			}
+			// Nothing should charge without a frame: the simulator roots
+			// every thread ("app", "setup", "daemon.*").
+			snap := o.Cycles.Snapshot()
+			if u := snap.TotalOf("unattributed"); u != 0 {
+				t.Errorf("%d cycles unattributed", u)
+			}
+		})
+	}
+}

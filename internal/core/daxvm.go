@@ -438,7 +438,7 @@ func (p *Proc) attachRange(t *sim.Thread, v *mm.VMA, ft *FileTable) {
 		default:
 			continue // hole
 		}
-		t.Charge(cost.AttachEntry)
+		t.ChargeAs("attach", cost.AttachEntry)
 		p.d.Stats.AttachedChunks++
 	}
 }
@@ -505,7 +505,7 @@ func (p *Proc) detachEntries(t *sim.Thread, core *cpu.Core, v *mm.VMA, invalidat
 	pages := p.populatedPagesIn(v)
 	p.MM.AS.ClearRange(t, v.Start, v.End)
 	nChunks := uint64(v.End-v.Start) / mem.HugeSize
-	t.Charge(cost.AttachEntry * nChunks)
+	t.ChargeAs("detach", cost.AttachEntry*nChunks)
 	delete(v.Inode.Mappers, v)
 	p.d.Stats.DetachOps++
 	if invalidate && pages > 0 {
@@ -566,6 +566,8 @@ func (p *Proc) populatedPagesIn(v *mm.VMA) uint64 {
 // process's cores (§IV-C).
 func (p *Proc) flushZombies(t *sim.Thread, core *cpu.Core) {
 	began := t.Now()
+	t.PushAttr("zombie_flush")
+	defer t.PopAttr()
 	p.Heap.lock.Lock(t, cost.SpinLockAcquire)
 	zs := p.zombies
 	p.zombies = nil

@@ -49,9 +49,10 @@ func NewMonitor(p *Proc, e *sim.Engine, coreID int) *Monitor {
 }
 
 func (m *Monitor) run(t *sim.Thread) {
+	t.PushAttr("daemon.monitor")
 	for {
 		t.Sleep(monitorQuantum)
-		t.Charge(cost.PerfCounterRead * uint64(len(m.cores)))
+		t.ChargeAs("sample", cost.PerfCounterRead*uint64(len(m.cores)))
 		m.Stats.Samples++
 		var dWalkCycles, dWalks, dBusy uint64
 		for i, c := range m.cores {
@@ -85,6 +86,8 @@ func (m *Monitor) run(t *sim.Thread) {
 // the persistent fragments and attach the new volatile").
 func (m *Monitor) migrate(t *sim.Thread) {
 	began := t.Now()
+	t.PushAttr("migrate")
+	defer t.PopAttr()
 	p := m.p
 	d := p.d
 	migratedAny := false
@@ -108,7 +111,7 @@ func (m *Monitor) migrate(t *sim.Thread) {
 				}
 			}
 			// Copy cost: streaming read of one PMem page + DRAM stores.
-			t.Charge(cost.CopyFromPMemPerPage)
+			t.ChargeAs("table_copy", cost.CopyFromPMemPerPage)
 			if d.dram != nil {
 				d.dram.AllocFrame(t)
 			}
@@ -157,7 +160,7 @@ func (m *Monitor) reattach(t *sim.Thread, ft *FileTable) {
 			va := v.Start + mem.VirtAddr(uint64(i)*mem.HugeSize)
 			if old := p.MM.AS.Detach(t, va, pt.LevelPMD); old != nil {
 				p.MM.AS.Attach(t, va, pt.LevelPMD, c.volatileNode, attachPerm(v))
-				t.Charge(cost.AttachEntry * 2)
+				t.ChargeAs("reattach", cost.AttachEntry*2)
 			}
 		}
 	}

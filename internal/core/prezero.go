@@ -65,6 +65,7 @@ func (p *Prezeroer) Intercept(t *sim.Thread, ext []vfs.Extent) bool {
 // run is the daemon loop: every quantum, zero up to the bandwidth budget
 // and release the blocks to the allocator as known-zeroed.
 func (p *Prezeroer) run(t *sim.Thread) {
+	t.PushAttr("daemon.prezero")
 	bytesPerQuantum := p.d.cfg.PrezeroBandwidthMBps << 20 * zeroQuantum / cost.CyclesPerSecond
 	if bytesPerQuantum < mem.PageSize {
 		bytesPerQuantum = mem.PageSize

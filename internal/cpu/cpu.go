@@ -143,50 +143,54 @@ func (c *Core) Translate(t *sim.Thread, as *pt.AddressSpace, va mem.VirtAddr, wr
 // walk performs a charged page walk.
 func (c *Core) walk(t *sim.Thread, as *pt.AddressSpace, va mem.VirtAddr) (pt.Entry, int, bool, bool) {
 	entry, level, writable, ok := as.Lookup(va)
-	cycles := c.walkCost(as, va, level, ok)
-	t.Charge(cycles)
-	c.Stats.WalkCycles += cycles
-	c.Stats.Walks++
-	c.WalkHist.Observe(cycles)
+	c.chargeWalkCost(t, as, va, level, ok)
 	return entry, level, writable, ok
 }
 
 // chargeWalk charges a walk without resolving (dirty-bit re-walk).
 func (c *Core) chargeWalk(t *sim.Thread, as *pt.AddressSpace, va mem.VirtAddr, _ bool) {
 	_, level, _, ok := as.Lookup(va)
-	cycles := c.walkCost(as, va, level, ok)
-	t.Charge(cycles)
+	c.chargeWalkCost(t, as, va, level, ok)
+}
+
+// chargeWalkCost books one walk: the cycles go to the cycle account under
+// "walk.<kind>" (nested below whatever path triggered the translation),
+// the per-core stats, and the walk-latency histogram.
+func (c *Core) chargeWalkCost(t *sim.Thread, as *pt.AddressSpace, va mem.VirtAddr, level int, ok bool) {
+	cycles, kind := c.walkCost(as, va, level, ok)
+	t.ChargeAs("walk."+kind, cycles)
 	c.Stats.WalkCycles += cycles
 	c.Stats.Walks++
 	c.WalkHist.Observe(cycles)
 }
 
 // walkCost computes the cycle cost of a walk resolving at the given level,
-// using the leaf node's medium and the PTE-line reuse cache.
-func (c *Core) walkCost(as *pt.AddressSpace, va mem.VirtAddr, level int, ok bool) uint64 {
+// using the leaf node's medium and the PTE-line reuse cache, and names the
+// walk kind for cycle attribution.
+func (c *Core) walkCost(as *pt.AddressSpace, va mem.VirtAddr, level int, ok bool) (uint64, string) {
 	if !ok {
 		// Aborted walk; upper levels only.
-		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM
+		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM, "aborted"
 	}
 	if level >= pt.LevelPMD {
-		return cost.WalkHuge
+		return cost.WalkHuge, "huge"
 	}
 	leaf, idx := as.LeafNode(va)
 	if leaf == nil {
-		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM
+		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM, "pte_cached_dram"
 	}
 	hot := c.touchPTELine(leaf, idx/mem.PTEsPerCacheLine)
 	if leaf.Medium == mem.PMem {
 		c.Stats.PMemWalks++
 		if hot {
-			return cost.WalkUpperLevels + cost.WalkPTECachedPMem
+			return cost.WalkUpperLevels + cost.WalkPTECachedPMem, "pte_cached_pmem"
 		}
-		return cost.WalkUpperLevels + cost.WalkPTEMissPMem
+		return cost.WalkUpperLevels + cost.WalkPTEMissPMem, "pte_miss_pmem"
 	}
 	if hot {
-		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM
+		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM, "pte_cached_dram"
 	}
-	return cost.WalkUpperLevels + cost.WalkPTEMissDRAM
+	return cost.WalkUpperLevels + cost.WalkPTEMissDRAM, "pte_miss_dram"
 }
 
 // touchPTELine records a PTE cache-line touch, reporting whether it was
@@ -253,6 +257,8 @@ const (
 func (s *Set) Shootdown(t *sim.Thread, initiator *Core, targets []*Core, kind ShootdownKind, pages []mem.VirtAddr, start, end mem.VirtAddr) {
 	t.Yield() // synchronization point: remote clocks are examined
 	began := t.Now()
+	t.PushAttr("shootdown")
+	defer t.PopAttr()
 	var tag string
 	var nPages uint64
 	switch kind {
@@ -267,18 +273,18 @@ func (s *Set) Shootdown(t *sim.Thread, initiator *Core, targets []*Core, kind Sh
 	applyInval(initiator.TLB, kind, pages, start, end)
 	switch kind {
 	case ShootPages:
-		t.Charge(cost.TLBInvlpgLocal * uint64(len(pages)))
+		t.ChargeAs("inval", cost.TLBInvlpgLocal*uint64(len(pages)))
 	case ShootRange:
-		t.Charge(cost.TLBInvlpgLocal * uint64((end-start)/mem.PageSize))
+		t.ChargeAs("inval", cost.TLBInvlpgLocal*uint64((end-start)/mem.PageSize))
 	case ShootFull:
-		t.Charge(cost.TLBFlushLocal)
+		t.ChargeAs("inval", cost.TLBFlushLocal)
 	}
 	if len(targets) == 0 {
 		s.Trace.Emit(obs.EvShootdown, initiator.ID, began, t.Now()-began, tag, nPages)
 		return
 	}
 	initiator.Stats.IPIsSent++
-	t.Charge(cost.IPIBase + cost.IPIPerTarget*uint64(len(targets)))
+	t.ChargeAs("ipi_send", cost.IPIBase+cost.IPIPerTarget*uint64(len(targets)))
 	remote := 0
 	for _, tc := range targets {
 		if tc == initiator {
@@ -293,12 +299,12 @@ func (s *Set) Shootdown(t *sim.Thread, initiator *Core, targets []*Core, kind Sh
 			// wait is modeled by the fixed acknowledgement latency
 			// below — NOT by the target's (possibly far-ahead) clock,
 			// which in the DES only reflects locally-buffered progress.
-			b.AddRemote(cost.IPITargetHandler)
+			b.AddRemote("shootdown.ipi_handler", cost.IPITargetHandler)
 		}
 	}
 	if remote > 0 {
 		initiator.Stats.ShootdownWait += cost.IPIAckLatency
-		t.Charge(cost.IPIAckLatency)
+		t.ChargeAs("ipi_wait", cost.IPIAckLatency)
 	}
 	s.Trace.Emit(obs.EvShootdown, initiator.ID, began, t.Now()-began, tag, nPages)
 }

@@ -135,7 +135,7 @@ func (f *FS) Create(t *sim.Thread, path string) (*vfs.Inode, error) {
 	di := &inode{ino: ino, mu: sim.NewMutex(cost.SchedWakeup)}
 	f.inodes[ino] = di
 	f.Stats.Creates++
-	t.Charge(cost.InodeUpdate)
+	t.ChargeAs("inode_update", cost.InodeUpdate)
 	f.journal.Begin(t)
 	f.journal.AddMeta(t, 1)
 	return f.vfsInode(di, path), nil
@@ -159,7 +159,7 @@ func (f *FS) LookupPath(t *sim.Thread, path string) (vfs.Ino, error) {
 			comps++
 		}
 	}
-	t.Charge(cost.PathLookupPerCmp * comps)
+	t.ChargeAs("path_lookup", cost.PathLookupPerCmp*comps)
 	ino, ok := f.dir[path]
 	if !ok {
 		return 0, vfs.ErrNotFound
@@ -176,8 +176,7 @@ func (f *FS) LoadInode(t *sim.Thread, ino vfs.Ino) (*vfs.Inode, error) {
 	}
 	// Inode block + one media access per 64 extents (340 fit a 4 KiB
 	// extent-tree block; be conservative).
-	t.Charge(cost.PMemLoadLatency)
-	t.Charge(cost.PMemSeqLoadLat * uint64(1+len(di.extents)/64))
+	t.ChargeAs("inode_load", cost.PMemLoadLatency+cost.PMemSeqLoadLat*uint64(1+len(di.extents)/64))
 	path := ""
 	return f.vfsInodeWithSize(di, path), nil
 }
@@ -201,7 +200,7 @@ func (f *FS) Unlink(t *sim.Thread, path string) error {
 	f.Stats.Unlinks++
 	f.journal.Begin(t)
 	f.journal.AddMeta(t, 1)
-	t.Charge(cost.InodeUpdate)
+	t.ChargeAs("inode_update", cost.InodeUpdate)
 	_ = ino
 	return nil
 }
@@ -305,7 +304,7 @@ func (f *FS) Append(t *sim.Thread, in *vfs.Inode, data []byte) error {
 	}
 	di.size = end
 	in.Size = end
-	t.Charge(cost.InodeUpdate)
+	t.ChargeAs("inode_update", cost.InodeUpdate)
 	f.journal.AddMeta(t, 1)
 	f.Stats.Appends++
 	return nil
@@ -321,7 +320,7 @@ func (f *FS) WriteAt(t *sim.Thread, in *vfs.Inode, off uint64, data []byte) erro
 	if end := off + uint64(len(data)); end > di.size {
 		di.size = end
 		in.Size = end
-		t.Charge(cost.InodeUpdate)
+		t.ChargeAs("inode_update", cost.InodeUpdate)
 	}
 	return nil
 }
@@ -403,7 +402,7 @@ func (f *FS) Fallocate(t *sim.Thread, in *vfs.Inode, off, n uint64) error {
 	if end := off + n; end > di.size {
 		di.size = end
 		in.Size = end
-		t.Charge(cost.InodeUpdate)
+		t.ChargeAs("inode_update", cost.InodeUpdate)
 		f.journal.AddMeta(t, 1)
 	}
 	return nil
@@ -458,7 +457,7 @@ func (f *FS) Truncate(t *sim.Thread, in *vfs.Inode, size uint64) error {
 // Fsync implements vfs.FS (metadata part; mapped-data flushing is the
 // mm layer's job).
 func (f *FS) Fsync(t *sim.Thread, in *vfs.Inode) {
-	t.Charge(cost.FsyncFixed)
+	t.ChargeAs("fsync_fixed", cost.FsyncFixed)
 	if in.MetaDirty {
 		f.journal.Commit(t)
 		in.MetaDirty = false
@@ -488,7 +487,7 @@ func (f *FS) Extents(in *vfs.Inode) []vfs.Extent {
 
 // BlockOf implements vfs.FS.
 func (f *FS) BlockOf(t *sim.Thread, in *vfs.Inode, fileBlock uint64) (uint64, bool) {
-	t.Charge(cost.ExtentLookup)
+	t.ChargeAs("extent_lookup", cost.ExtentLookup)
 	di := in.Priv.(*inode)
 	i := sort.Search(len(di.extents), func(i int) bool { return di.extents[i].End() > fileBlock })
 	if i == len(di.extents) || di.extents[i].File > fileBlock {

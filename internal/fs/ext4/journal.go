@@ -44,14 +44,14 @@ func NewJournal(dev *pmem.Device, head mem.PhysAddr, size uint64) *Journal {
 // Begin starts (or joins) the running transaction.
 func (j *Journal) Begin(t *sim.Thread) {
 	j.Stats.Begins++
-	t.Charge(cost.JournalBegin)
+	t.ChargeAs("journal.begin", cost.JournalBegin)
 }
 
 // AddMeta records n dirty metadata blocks in the running transaction.
 func (j *Journal) AddMeta(t *sim.Thread, n uint64) {
 	j.pendingBlocks += n
 	j.Stats.Blocks += n
-	t.Charge(cost.JournalAddPerBlock * n)
+	t.ChargeAs("journal.add_meta", cost.JournalAddPerBlock*n)
 }
 
 // OnCommit registers fn to run inside every commit while the journal lock
@@ -65,6 +65,8 @@ func (j *Journal) OnCommit(fn func(t *sim.Thread)) {
 // nt-stores and fences.
 func (j *Journal) Commit(t *sim.Thread) {
 	began := t.Now()
+	t.PushAttr("journal.commit")
+	defer t.PopAttr()
 	j.mu.Lock(t, cost.SemAcquireFast)
 	n := j.pendingBlocks
 	j.pendingBlocks = 0

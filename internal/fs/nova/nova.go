@@ -105,7 +105,7 @@ func (f *FS) SetTrustZeroed(on bool) { f.trustZeroed = on }
 // fenced record. This is why NOVA needs no MAP_SYNC faults.
 func (f *FS) logAppend(t *sim.Thread) {
 	f.Stats.LogAppends++
-	t.Charge(cost.NovaLogAppend)
+	t.ChargeAs("log_append", cost.NovaLogAppend)
 	if f.logOff+mem.CacheLineSize > f.logCap {
 		f.logOff = 0
 	}
@@ -143,7 +143,7 @@ func (f *FS) newVFS(di *inode, path string) *vfs.Inode {
 
 // LookupPath implements vfs.FS.
 func (f *FS) LookupPath(t *sim.Thread, path string) (vfs.Ino, error) {
-	t.Charge(cost.PathLookupPerCmp)
+	t.ChargeAs("path_lookup", cost.PathLookupPerCmp)
 	ino, ok := f.dir[path]
 	if !ok {
 		return 0, vfs.ErrNotFound
@@ -157,7 +157,7 @@ func (f *FS) LoadInode(t *sim.Thread, ino vfs.Ino) (*vfs.Inode, error) {
 	if !ok {
 		return nil, vfs.ErrNotFound
 	}
-	t.Charge(cost.PMemLoadLatency + cost.PMemSeqLoadLat*uint64(1+len(di.extents)/32))
+	t.ChargeAs("inode_load", cost.PMemLoadLatency+cost.PMemSeqLoadLat*uint64(1+len(di.extents)/32))
 	return f.newVFS(di, ""), nil
 }
 
@@ -376,7 +376,7 @@ func (f *FS) ReleaseZeroed(t *sim.Thread, ext []vfs.Extent) {
 
 // Fsync implements vfs.FS: metadata is already durable; only a fixed cost.
 func (f *FS) Fsync(t *sim.Thread, in *vfs.Inode) {
-	t.Charge(cost.FsyncFixed)
+	t.ChargeAs("fsync_fixed", cost.FsyncFixed)
 }
 
 // SyncMetaIfDirty implements vfs.FS: a no-op — NOVA commits synchronously,
@@ -393,7 +393,7 @@ func (f *FS) Extents(in *vfs.Inode) []vfs.Extent {
 
 // BlockOf implements vfs.FS.
 func (f *FS) BlockOf(t *sim.Thread, in *vfs.Inode, fileBlock uint64) (uint64, bool) {
-	t.Charge(cost.ExtentLookup)
+	t.ChargeAs("extent_lookup", cost.ExtentLookup)
 	di := in.Priv.(*inode)
 	i := sort.Search(len(di.extents), func(i int) bool { return di.extents[i].End() > fileBlock })
 	if i == len(di.extents) || di.extents[i].File > fileBlock {

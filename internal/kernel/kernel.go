@@ -161,7 +161,9 @@ func Boot(cfg Config) *Kernel {
 			ac = *cfg.AgeConfig
 		}
 		setup := sim.New()
+		k.attachEngine(setup)
 		setup.Go("ager", 0, 0, func(t *sim.Thread) {
+			t.PushAttr("setup.age")
 			rep, err := agefs.Age(t, agingSurface{k.FS}, ac)
 			if err != nil {
 				panic(err)
@@ -175,12 +177,28 @@ func Boot(cfg Config) *Kernel {
 }
 
 // Setup runs fn on a dedicated setup engine thread (corpus creation etc.)
-// and resets device timing afterwards so measurement starts clean.
+// and resets device timing afterwards so measurement starts clean. Setup
+// work books under the "setup" attribution root, and the ephemeral engine
+// registers with the hub so attributed cycles still reconcile.
 func (k *Kernel) Setup(fn func(t *sim.Thread)) {
 	e := sim.New()
-	e.Go("setup", 0, 0, fn)
+	k.attachEngine(e)
+	e.Go("setup", 0, 0, func(t *sim.Thread) {
+		t.PushAttr("setup")
+		fn(t)
+	})
 	e.Run()
 	k.Dev.ResetTiming()
+}
+
+// attachEngine routes an auxiliary engine's charges into the hub's cycle
+// account and registers its total for reconciliation.
+func (k *Kernel) attachEngine(e *sim.Engine) {
+	if k.Obs == nil || k.Obs.Cycles == nil {
+		return
+	}
+	e.SetChargeSink(k.Obs.Cycles.Charge)
+	k.Obs.AddEngineTotal(e.TotalCharged)
 }
 
 // Run executes the main engine until all spawned workload threads finish,
@@ -252,10 +270,12 @@ func (k *Kernel) NewProc() *Proc {
 	return p
 }
 
-// Spawn starts a workload thread of this process pinned to a core.
+// Spawn starts a workload thread of this process pinned to a core. All of
+// the thread's work books under the "app" attribution root.
 func (p *Proc) Spawn(name string, coreID int, start uint64, fn func(t *sim.Thread, c *cpu.Core)) {
 	c := p.K.Cpus.Cores[coreID]
 	p.K.Engine.Go(name, coreID, start, func(t *sim.Thread) {
+		t.PushAttr("app")
 		c.Bind(t)
 		fn(t, c)
 	})
@@ -263,13 +283,22 @@ func (p *Proc) Spawn(name string, coreID int, start uint64, fn func(t *sim.Threa
 
 // --- system calls -----------------------------------------------------------
 
-func syscallEnter(t *sim.Thread) { t.Charge(cost.UserKernelCrossing + cost.SyscallDispatch) }
-func syscallExit(t *sim.Thread)  { t.Charge(cost.UserKernelCrossing) }
+// sysEnter opens the syscall's attribution frame ("syscall.<name>", nested
+// under the thread's current path) and charges the entry crossing; the
+// returned func charges the exit crossing and closes the frame. Use as
+// `defer sysEnter(t, "open")()`.
+func sysEnter(t *sim.Thread, name string) func() {
+	t.PushAttr("syscall." + name)
+	t.Charge(cost.UserKernelCrossing + cost.SyscallDispatch)
+	return func() {
+		t.Charge(cost.UserKernelCrossing)
+		t.PopAttr()
+	}
+}
 
 // Open opens an existing file.
 func (p *Proc) Open(t *sim.Thread, path string) (int, error) {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "open")()
 	t.Charge(cost.OpenPath)
 	in, err := p.K.ICache.Open(t, path)
 	if err != nil {
@@ -284,8 +313,7 @@ func (p *Proc) Open(t *sim.Thread, path string) (int, error) {
 
 // Create makes and opens a new file.
 func (p *Proc) Create(t *sim.Thread, path string) (int, error) {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "create")()
 	t.Charge(cost.OpenPath)
 	in, err := p.K.ICache.Create(t, path)
 	if err != nil {
@@ -300,8 +328,7 @@ func (p *Proc) Create(t *sim.Thread, path string) (int, error) {
 
 // Close drops the descriptor.
 func (p *Proc) Close(t *sim.Thread, fd int) error {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "close")()
 	t.Charge(cost.CloseFixed)
 	f, ok := p.fds[fd]
 	if !ok {
@@ -317,8 +344,7 @@ func (p *Proc) Inode(fd int) *vfs.Inode { return p.fds[fd].In }
 
 // Read reads from the current position.
 func (p *Proc) Read(t *sim.Thread, fd int, buf []byte) (uint64, error) {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "read")()
 	t.Charge(cost.ReadWriteFixed)
 	f, ok := p.fds[fd]
 	if !ok {
@@ -331,8 +357,7 @@ func (p *Proc) Read(t *sim.Thread, fd int, buf []byte) (uint64, error) {
 
 // ReadAt reads at an absolute offset.
 func (p *Proc) ReadAt(t *sim.Thread, fd int, off uint64, buf []byte) (uint64, error) {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "pread")()
 	t.Charge(cost.ReadWriteFixed)
 	f, ok := p.fds[fd]
 	if !ok {
@@ -343,8 +368,7 @@ func (p *Proc) ReadAt(t *sim.Thread, fd int, off uint64, buf []byte) (uint64, er
 
 // Append writes at end of file.
 func (p *Proc) Append(t *sim.Thread, fd int, data []byte) error {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "append")()
 	t.Charge(cost.ReadWriteFixed)
 	f, ok := p.fds[fd]
 	if !ok {
@@ -355,8 +379,7 @@ func (p *Proc) Append(t *sim.Thread, fd int, data []byte) error {
 
 // WriteAt overwrites existing bytes.
 func (p *Proc) WriteAt(t *sim.Thread, fd int, off uint64, data []byte) error {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "pwrite")()
 	t.Charge(cost.ReadWriteFixed)
 	f, ok := p.fds[fd]
 	if !ok {
@@ -367,8 +390,7 @@ func (p *Proc) WriteAt(t *sim.Thread, fd int, off uint64, data []byte) error {
 
 // Fallocate reserves blocks.
 func (p *Proc) Fallocate(t *sim.Thread, fd int, off, n uint64) error {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "fallocate")()
 	f, ok := p.fds[fd]
 	if !ok {
 		return fmt.Errorf("kernel: bad fd %d", fd)
@@ -378,8 +400,7 @@ func (p *Proc) Fallocate(t *sim.Thread, fd int, off, n uint64) error {
 
 // Ftruncate resizes.
 func (p *Proc) Ftruncate(t *sim.Thread, fd int, size uint64) error {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "ftruncate")()
 	f, ok := p.fds[fd]
 	if !ok {
 		return fmt.Errorf("kernel: bad fd %d", fd)
@@ -389,8 +410,7 @@ func (p *Proc) Ftruncate(t *sim.Thread, fd int, size uint64) error {
 
 // Fsync commits the file.
 func (p *Proc) Fsync(t *sim.Thread, fd int) error {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "fsync")()
 	f, ok := p.fds[fd]
 	if !ok {
 		return fmt.Errorf("kernel: bad fd %d", fd)
@@ -401,8 +421,7 @@ func (p *Proc) Fsync(t *sim.Thread, fd int) error {
 
 // Unlink removes a file.
 func (p *Proc) Unlink(t *sim.Thread, path string) error {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "unlink")()
 	ino, err := p.K.FS.LookupPath(t, path)
 	if err != nil {
 		return err
@@ -423,8 +442,7 @@ func (p *Proc) Unlink(t *sim.Thread, path string) error {
 
 // Mmap is the POSIX mmap(2) path.
 func (p *Proc) Mmap(t *sim.Thread, c *cpu.Core, fd int, off, length uint64, perm mem.Perm, flags mm.MapFlags) (mem.VirtAddr, error) {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "mmap")()
 	f, ok := p.fds[fd]
 	if !ok {
 		return 0, fmt.Errorf("kernel: bad fd %d", fd)
@@ -439,8 +457,7 @@ func (p *Proc) Mmap(t *sim.Thread, c *cpu.Core, fd int, off, length uint64, perm
 
 // Munmap is munmap(2).
 func (p *Proc) Munmap(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, length uint64) error {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "munmap")()
 	// Identify the inode to drop the mapping reference.
 	p.MM.Sem.RLock(t, 0)
 	v := p.MM.FindVMA(t, va)
@@ -454,15 +471,13 @@ func (p *Proc) Munmap(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, length uint64
 
 // Msync is msync(2).
 func (p *Proc) Msync(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, length uint64) error {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "msync")()
 	return p.MM.Msync(t, c, va, length)
 }
 
 // Mprotect is mprotect(2).
 func (p *Proc) Mprotect(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, length uint64, perm mem.Perm) error {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "mprotect")()
 	if p.Dax != nil {
 		p.MM.Sem.RLock(t, 0)
 		v := p.MM.FindVMA(t, va)
@@ -476,8 +491,7 @@ func (p *Proc) Mprotect(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, length uint
 
 // DaxvmMmap is daxvm_mmap(2).
 func (p *Proc) DaxvmMmap(t *sim.Thread, c *cpu.Core, fd int, off, length uint64, perm mem.Perm, flags core.Flags) (mem.VirtAddr, error) {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "daxvm_mmap")()
 	if p.Dax == nil {
 		return 0, fmt.Errorf("kernel: DaxVM not enabled")
 	}
@@ -495,8 +509,7 @@ func (p *Proc) DaxvmMmap(t *sim.Thread, c *cpu.Core, fd int, off, length uint64,
 
 // DaxvmMunmap is daxvm_munmap(2).
 func (p *Proc) DaxvmMunmap(t *sim.Thread, c *cpu.Core, va mem.VirtAddr) error {
-	syscallEnter(t)
-	defer syscallExit(t)
+	defer sysEnter(t, "daxvm_munmap")()
 	p.MM.Sem.RLock(t, 0)
 	v := p.MM.FindVMA(t, va)
 	p.MM.Sem.RUnlock(t, 0)
@@ -545,6 +558,8 @@ func (k AccessKind) isWrite() bool { return k == KindNTWrite || k == KindCachedW
 // occupancy (DAX loads/stores cross the DIMM channel even without a
 // kernel copy).
 func (p *Proc) AccessMapped(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, n uint64, kind AccessKind) error {
+	t.PushAttr("access")
+	defer t.PopAttr()
 	if err := p.MM.Access(t, c, va, n, kind.isWrite(), kind.perPage()); err != nil {
 		return err
 	}
@@ -567,7 +582,7 @@ func (p *Proc) AccessMapped(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, n uint6
 // ConsumeBuffer models user code scanning an n-byte DRAM buffer it just
 // read() (hot in cache).
 func ConsumeBuffer(t *sim.Thread, n uint64) {
-	t.Charge(cost.UserLoadDRAMPerPage * (n + mem.PageSize - 1) / mem.PageSize)
+	t.ChargeAs("consume", cost.UserLoadDRAMPerPage*(n+mem.PageSize-1)/mem.PageSize)
 }
 
 // --- FS adapters --------------------------------------------------------------

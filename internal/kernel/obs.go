@@ -15,6 +15,10 @@ import (
 // from all of them.
 func (k *Kernel) wireObs(o *obs.Obs) {
 	k.Obs = o
+	// Route every cycle the main engine charges into the hierarchical
+	// cycle account, and register the engine's total so bench tests can
+	// assert the profile reconciles (attributed == simulated).
+	k.attachEngine(k.Engine)
 	tr := o.Trace
 	if tr != nil {
 		tr.CyclesPerUsec = float64(cost.CyclesPerUsec)

@@ -313,7 +313,7 @@ func (m *MM) tryHuge(t *sim.Thread, v *VMA, va, end mem.VirtAddr, chargeFault bo
 	e := pt.MakeEntry(mem.PFN(phys), m.initialPerm(v), true, true)
 	m.AS.Map(t, va, e, pt.LevelPMD)
 	if chargeFault {
-		t.Charge(cost.HugeFaultService)
+		t.ChargeAs("huge", cost.HugeFaultService)
 	} else {
 		t.Charge(cost.PTESetPerPage * 8)
 	}
@@ -325,7 +325,9 @@ func (m *MM) tryHuge(t *sim.Thread, v *VMA, va, end mem.VirtAddr, chargeFault bo
 // Linux's shared-file write fault.
 func (m *MM) PageFault(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, write bool) error {
 	began := t.Now()
+	t.PushAttr("fault.minor")
 	err := m.pageFault(t, core, va, write)
+	t.PopAttr()
 	cycles := t.Now() - began
 	m.FaultHist.Observe(cycles)
 	tag := "read"
@@ -402,7 +404,9 @@ func (m *MM) installPTE(t *sim.Thread, va mem.VirtAddr, phys uint64, perm mem.Pe
 // MAP_SYNC metadata commit.
 func (m *MM) WPFault(t *sim.Thread, core *cpu.Core, va mem.VirtAddr) error {
 	began := t.Now()
+	t.PushAttr("fault.wp")
 	err := m.wpFault(t, core, va)
+	t.PopAttr()
 	cycles := t.Now() - began
 	m.FaultHist.Observe(cycles)
 	m.Trace.Emit(obs.EvWPFault, coreID(core), began, cycles, "", uint64(va))
@@ -714,7 +718,7 @@ func (m *MM) Access(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, n uint64, wr
 		if end < hi {
 			hi = end
 		}
-		t.Charge(dataPerPage * uint64(hi-lo) / mem.PageSize)
+		t.ChargeAs("data", dataPerPage*uint64(hi-lo)/mem.PageSize)
 	}
 	return nil
 }

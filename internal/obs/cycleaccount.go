@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CycleAccount is the hierarchical cycle-attribution profiler: every cycle
+// the simulator charges is booked against a dotted attribution path
+// ("app.syscall.write.ntstore", "app.access.fault.minor", ...), per
+// simulated core. It implements the sim engine's charge-sink signature, so
+// wiring is one SetChargeSink call per engine. Leaves are exact paths;
+// interior nodes exist implicitly as shared prefixes and are materialized
+// by Snapshot views (WriteTable, TotalOf).
+//
+// Invariant (asserted by bench tests): Total() equals the sum of
+// Engine.TotalCharged() over every engine wired to the account — the
+// profile cannot silently lose time.
+type CycleAccount struct {
+	mu     sync.Mutex
+	leaves map[string]*cycleLeaf
+	total  uint64
+}
+
+type cycleLeaf struct {
+	cycles uint64
+	count  uint64
+	byCore map[int]uint64
+}
+
+// NewCycleAccount creates an empty account.
+func NewCycleAccount() *CycleAccount {
+	return &CycleAccount{leaves: make(map[string]*cycleLeaf)}
+}
+
+// Charge books cycles against path on core. Nil-safe, and the signature
+// matches sim.Engine.SetChargeSink so the method value wires directly.
+func (a *CycleAccount) Charge(core int, path string, cycles uint64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	l := a.leaves[path]
+	if l == nil {
+		l = &cycleLeaf{byCore: make(map[int]uint64)}
+		a.leaves[path] = l
+	}
+	l.cycles += cycles
+	l.count++
+	l.byCore[core] += cycles
+	a.total += cycles
+	a.mu.Unlock()
+}
+
+// Total reports all cycles booked so far.
+func (a *CycleAccount) Total() uint64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Snapshot copies the account state.
+func (a *CycleAccount) Snapshot() CycleSnapshot {
+	if a == nil {
+		return CycleSnapshot{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := CycleSnapshot{Total: a.total, Leaves: make(map[string]CycleLeaf, len(a.leaves))}
+	for path, l := range a.leaves {
+		cl := CycleLeaf{Cycles: l.cycles, Count: l.count, ByCore: make(map[int]uint64, len(l.byCore))}
+		for c, v := range l.byCore {
+			cl.ByCore[c] = v
+		}
+		s.Leaves[path] = cl
+	}
+	return s
+}
+
+// CycleLeaf is one attribution path's booked cost.
+type CycleLeaf struct {
+	Cycles uint64         `json:"cycles"`
+	Count  uint64         `json:"count"`
+	ByCore map[int]uint64 `json:"by_core,omitempty"`
+}
+
+// CycleSnapshot is a point-in-time reading of the account; it is what the
+// daxvm-bench/v2 artifact embeds as cycle_breakdown.
+type CycleSnapshot struct {
+	Total  uint64               `json:"total"`
+	Leaves map[string]CycleLeaf `json:"leaves"`
+}
+
+// Delta subtracts prev leaf-wise (the measured window's profile), dropping
+// leaves that saw no new cycles.
+func (s CycleSnapshot) Delta(prev CycleSnapshot) CycleSnapshot {
+	d := CycleSnapshot{Leaves: make(map[string]CycleLeaf)}
+	if s.Total > prev.Total {
+		d.Total = s.Total - prev.Total
+	}
+	for path, l := range s.Leaves {
+		p := prev.Leaves[path]
+		if l.Cycles <= p.Cycles {
+			continue
+		}
+		dl := CycleLeaf{Cycles: l.Cycles - p.Cycles}
+		if l.Count > p.Count {
+			dl.Count = l.Count - p.Count
+		}
+		for c, v := range l.ByCore {
+			if pv := p.ByCore[c]; v > pv {
+				if dl.ByCore == nil {
+					dl.ByCore = make(map[int]uint64)
+				}
+				dl.ByCore[c] = v - pv
+			}
+		}
+		d.Leaves[path] = dl
+	}
+	return d
+}
+
+// TotalOf sums every leaf at prefix or nested under it ("journal" covers
+// both the "journal" leaf and "journal.commit").
+func (s CycleSnapshot) TotalOf(prefix string) uint64 {
+	var sum uint64
+	for path, l := range s.Leaves {
+		if path == prefix || strings.HasPrefix(path, prefix+".") {
+			sum += l.Cycles
+		}
+	}
+	return sum
+}
+
+// WriteFolded emits the snapshot in folded-stack format — one line per
+// leaf, frames separated by semicolons, sample count last — directly
+// consumable by flamegraph.pl or speedscope. Lines are sorted for
+// deterministic output.
+func (s CycleSnapshot) WriteFolded(w io.Writer) error {
+	paths := make([]string, 0, len(s.Leaves))
+	for p := range s.Leaves {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := fmt.Fprintf(w, "%s %d\n", strings.ReplaceAll(p, ".", ";"), s.Leaves[p].Cycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cycleNode is one materialized row of the hierarchical table.
+type cycleNode struct {
+	path        string
+	total, self uint64
+	count       uint64
+}
+
+// nodes materializes every prefix of every leaf with its rolled-up total.
+func (s CycleSnapshot) nodes() []cycleNode {
+	m := map[string]*cycleNode{}
+	for path, l := range s.Leaves {
+		for i := 0; i <= len(path); i++ {
+			if i == len(path) || path[i] == '.' {
+				pre := path[:i]
+				n := m[pre]
+				if n == nil {
+					n = &cycleNode{path: pre}
+					m[pre] = n
+				}
+				n.total += l.Cycles
+				n.count += l.Count
+				if i == len(path) {
+					n.self += l.Cycles
+				}
+			}
+		}
+	}
+	out := make([]cycleNode, 0, len(m))
+	for _, n := range m {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].total != out[j].total {
+			return out[i].total > out[j].total
+		}
+		return out[i].path < out[j].path
+	})
+	return out
+}
+
+// WriteTable prints the topN nodes by rolled-up total: attributed share,
+// total (node + descendants), self (cycles booked exactly at the node),
+// and charge count. Nested rows indent by depth so the hierarchy reads.
+func (s CycleSnapshot) WriteTable(w io.Writer, topN int) {
+	nodes := s.nodes()
+	if topN > 0 && len(nodes) > topN {
+		nodes = nodes[:topN]
+	}
+	fmt.Fprintf(w, "  %7s %14s %14s %12s  %s\n", "%TOTAL", "TOTAL", "SELF", "CALLS", "PATH")
+	for _, n := range nodes {
+		pct := 0.0
+		if s.Total > 0 {
+			pct = 100 * float64(n.total) / float64(s.Total)
+		}
+		indent := strings.Repeat("  ", strings.Count(n.path, "."))
+		fmt.Fprintf(w, "  %6.2f%% %14d %14d %12d  %s%s\n", pct, n.total, n.self, n.count, indent, n.path)
+	}
+}

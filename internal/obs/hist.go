@@ -1,14 +1,23 @@
 package obs
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+)
 
 // histBuckets is one bucket per possible bit length of a uint64, plus
 // bucket 0 for the value 0.
 const histBuckets = 65
 
 // Histogram is a log2-bucket latency histogram: bucket b counts values v
-// with bits.Len64(v) == b, i.e. v in [2^(b-1), 2^b). Observing is two
-// adds and an increment — cheap enough for per-walk recording.
+// with bits.Len64(v) == b, i.e. v in [2^(b-1), 2^b). Observing is three
+// atomic adds — cheap enough for per-walk recording, and race-safe when
+// multiple engines (or a concurrent Snapshot) touch the same histogram.
+// Snapshot is lock-free and therefore only weakly consistent (sum, count
+// and buckets are loaded independently), which is fine for monotonic
+// window deltas.
 type Histogram struct {
 	counts [histBuckets]uint64
 	sum    uint64
@@ -20,9 +29,9 @@ func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return
 	}
-	h.counts[bits.Len64(v)]++
-	h.sum += v
-	h.n++
+	atomic.AddUint64(&h.counts[bits.Len64(v)], 1)
+	atomic.AddUint64(&h.sum, v)
+	atomic.AddUint64(&h.n, 1)
 }
 
 // Count reports total observations.
@@ -30,7 +39,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.n
+	return atomic.LoadUint64(&h.n)
 }
 
 // Snapshot copies the histogram state.
@@ -38,9 +47,9 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	if h == nil {
 		return HistSnapshot{}
 	}
-	s := HistSnapshot{Sum: h.sum, Count: h.n}
-	for b, c := range h.counts {
-		if c != 0 {
+	s := HistSnapshot{Sum: atomic.LoadUint64(&h.sum), Count: atomic.LoadUint64(&h.n)}
+	for b := range h.counts {
+		if c := atomic.LoadUint64(&h.counts[b]); c != 0 {
 			if s.Buckets == nil {
 				s.Buckets = make(map[int]uint64)
 			}
@@ -76,6 +85,47 @@ func (s HistSnapshot) Mean() float64 {
 		return 0
 	}
 	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the p-quantile (p in [0,1], clamped) by linear
+// interpolation inside the log2 bucket holding the target rank: the rank's
+// position within the bucket's count maps linearly onto the bucket's value
+// range [BucketUpper(b-1), BucketUpper(b)). Bucket 0 holds only the value
+// 0, so ranks landing there return 0 exactly. An empty snapshot returns 0.
+func (s HistSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(math.Ceil(p * float64(s.Count)))
+	if rank == 0 {
+		rank = 1 // p=0 selects the smallest observation's bucket
+	}
+	bs := make([]int, 0, len(s.Buckets))
+	for b := range s.Buckets {
+		bs = append(bs, b)
+	}
+	sort.Ints(bs)
+	var cum uint64
+	for _, b := range bs {
+		c := s.Buckets[b]
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		if b == 0 {
+			return 0
+		}
+		lower := float64(BucketUpper(b - 1))
+		upper := float64(BucketUpper(b))
+		return lower + (upper-lower)*float64(rank-cum)/float64(c)
+	}
+	return float64(BucketUpper(64)) // unreachable when Buckets sums to Count
 }
 
 // Delta subtracts prev bucket-wise (the measured window's distribution).

@@ -13,16 +13,22 @@
 // subsystem pays one branch.
 package obs
 
+import "sync"
+
 // DefaultTraceCap bounds the event ring when the caller does not choose:
 // large enough to hold the tail of any experiment, small enough that an
 // always-on tracer is free.
 const DefaultTraceCap = 1 << 16
 
-// Obs bundles the registry and tracer one machine (or one experiment run,
-// when shared across machines) collects into.
+// Obs bundles the registry, tracer and cycle account one machine (or one
+// experiment run, when shared across machines) collects into.
 type Obs struct {
-	Reg   *Registry
-	Trace *Tracer
+	Reg    *Registry
+	Trace  *Tracer
+	Cycles *CycleAccount
+
+	mu           sync.Mutex
+	engineTotals []func() uint64
 }
 
 // New creates an observability hub with a trace ring of traceCap events
@@ -31,5 +37,32 @@ func New(traceCap int) *Obs {
 	if traceCap == 0 {
 		traceCap = DefaultTraceCap
 	}
-	return &Obs{Reg: NewRegistry(), Trace: NewTracer(traceCap)}
+	return &Obs{Reg: NewRegistry(), Trace: NewTracer(traceCap), Cycles: NewCycleAccount()}
+}
+
+// AddEngineTotal registers a reader for one engine's total charged cycles.
+// Every engine whose charges feed Cycles must register here (the kernel
+// does this when wiring), so EnginesTotal is the reconciliation target for
+// CycleAccount.Total. Kept as func values to stay dependency-free.
+func (o *Obs) AddEngineTotal(fn func() uint64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.engineTotals = append(o.engineTotals, fn)
+	o.mu.Unlock()
+}
+
+// EnginesTotal sums the total charged cycles of every registered engine.
+func (o *Obs) EnginesTotal() uint64 {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var s uint64
+	for _, fn := range o.engineTotals {
+		s += fn()
+	}
+	return s
 }

@@ -133,16 +133,23 @@ func TestWriteChromeTrace(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
 	}
-	// 2 metadata (thread_name) + 2 events.
-	if len(ct.TraceEvents) != 4 {
+	// 2 metadata (thread_name) + 1 trace_stats + 2 events.
+	if len(ct.TraceEvents) != 5 {
 		t.Fatalf("events: %d", len(ct.TraceEvents))
 	}
 	byName := map[string]int{}
 	for _, e := range ct.TraceEvents {
 		byName[e.Name]++
 	}
-	if byName["thread_name"] != 2 || byName[EvMmap] != 1 || byName[EvShootdown] != 1 {
+	if byName["thread_name"] != 2 || byName["trace_stats"] != 1 || byName[EvMmap] != 1 || byName[EvShootdown] != 1 {
 		t.Fatalf("names: %v", byName)
+	}
+	for _, e := range ct.TraceEvents {
+		if e.Name == "trace_stats" {
+			if e.Ph != "M" || e.Args["dropped"] != float64(0) || e.Args["retained"] != float64(2) {
+				t.Fatalf("trace_stats wrong: %+v", e)
+			}
+		}
 	}
 	for _, e := range ct.TraceEvents {
 		if e.Name == EvMmap {

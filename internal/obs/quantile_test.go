@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistSnapshot
+	for _, p := range []float64{0, 0.5, 1} {
+		if q := s.Quantile(p); q != 0 {
+			t.Fatalf("empty Quantile(%v) = %v", p, q)
+		}
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Observe(700) // bucket 10: [512, 1024)
+	}
+	s := h.Snapshot()
+	lo, hi := float64(512), float64(1024)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		q := s.Quantile(p)
+		if q < lo || q > hi {
+			t.Fatalf("Quantile(%v) = %v outside bucket [%v,%v)", p, q, lo, hi)
+		}
+	}
+	// Interpolation is monotone in p.
+	if s.Quantile(0.1) > s.Quantile(0.9) {
+		t.Fatal("quantile not monotone")
+	}
+	// p=1 hits the bucket's upper bound exactly (rank == count).
+	if q := s.Quantile(1); q != hi {
+		t.Fatalf("Quantile(1) = %v, want %v", q, hi)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)    // bucket 0
+	h.Observe(1)    // bucket 1
+	h.Observe(1000) // bucket 10
+	s := h.Snapshot()
+	if q := s.Quantile(0); q != 0 {
+		t.Fatalf("Quantile(0) = %v, want 0 (smallest observation is 0)", q)
+	}
+	if q := s.Quantile(1); q < 512 || q > 1024 {
+		t.Fatalf("Quantile(1) = %v, want within [512,1024]", q)
+	}
+	// Out-of-range p clamps instead of panicking.
+	if q := s.Quantile(-3); q != s.Quantile(0) {
+		t.Fatalf("p<0 not clamped: %v", q)
+	}
+	if q := s.Quantile(7); q != s.Quantile(1) {
+		t.Fatalf("p>1 not clamped: %v", q)
+	}
+	// Median lands in the middle bucket: value 1 lives in [1,2).
+	if q := s.Quantile(0.5); q < 1 || q > 2 {
+		t.Fatalf("Quantile(0.5) = %v, want within [1,2]", q)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers Observe and Snapshot from many
+// goroutines; under -race this verifies the atomics claim, and the final
+// count/sum must still be exact.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hammer")
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(uint64(i % 4096))
+				if i%512 == 0 {
+					s := h.Snapshot()
+					_ = s.Quantile(0.99)
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var bucketSum uint64
+	for _, c := range s.Buckets {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("buckets sum to %d, count %d", bucketSum, s.Count)
+	}
+}

@@ -158,6 +158,13 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 			return err
 		}
 	}
+	// Self-describing truncation record: a ring that wrapped kept only the
+	// tail, and Perfetto should say so rather than show a silent gap.
+	stats := fmt.Sprintf(`{"name":"trace_stats","ph":"M","pid":0,"tid":0,"args":{"dropped":%d,"retained":%d}}`,
+		tr.Dropped(), len(events))
+	if err := emit(stats); err != nil {
+		return err
+	}
 	usec := func(cycles uint64) string {
 		return strconv.FormatFloat(float64(cycles)/cpu, 'f', 3, 64)
 	}

@@ -107,7 +107,7 @@ func (d *Device) Read(t *sim.Thread, addr mem.PhysAddr, buf []byte) {
 	if c == 0 {
 		c = cost.PMemSeqLoadLat
 	}
-	t.Charge(c)
+	t.ChargeAs("pmem_read", c)
 	d.bw.consumeRead(t, n, &d.Stats)
 }
 
@@ -131,7 +131,7 @@ func (d *Device) WriteNT(t *sim.Thread, addr mem.PhysAddr, buf []byte) {
 	if c == 0 {
 		c = cost.NTStoreLineCost * (n + mem.CacheLineSize - 1) / mem.CacheLineSize
 	}
-	t.Charge(c)
+	t.ChargeAs("ntstore", c)
 	d.bw.consumeWrite(t, n, &d.Stats)
 }
 
@@ -146,7 +146,7 @@ func (d *Device) StreamNT(t *sim.Thread, addr mem.PhysAddr, n uint64) {
 	if c == 0 {
 		c = cost.NTStoreLineCost * (n + mem.CacheLineSize - 1) / mem.CacheLineSize
 	}
-	t.Charge(c)
+	t.ChargeAs("ntstore", c)
 	d.bw.consumeWrite(t, n, &d.Stats)
 }
 
@@ -163,7 +163,7 @@ func (d *Device) WriteCached(t *sim.Thread, addr mem.PhysAddr, buf []byte) {
 	}
 	// Cached stores complete at cache speed; the PMem cost is paid at
 	// flush time.
-	t.Charge(cost.CacheHitLatency * ((n + mem.CacheLineSize - 1) / mem.CacheLineSize) / 4)
+	t.ChargeAs("cached_store", cost.CacheHitLatency*((n+mem.CacheLineSize-1)/mem.CacheLineSize)/4)
 }
 
 // Zero zeroes [addr, addr+n) with non-temporal stores (security zeroing of
@@ -183,7 +183,7 @@ func (d *Device) Zero(t *sim.Thread, addr mem.PhysAddr, n uint64) {
 	if c == 0 {
 		c = cost.NTStoreLineCost
 	}
-	t.Charge(c)
+	t.ChargeAs("zero", c)
 	d.bw.consumeWrite(t, n, &d.Stats)
 }
 
@@ -201,7 +201,7 @@ func (d *Device) Flush(t *sim.Thread, addr mem.PhysAddr, n uint64) {
 			}
 		})
 	}
-	t.Charge(cost.ClwbCost * lines)
+	t.ChargeAs("clwb", cost.ClwbCost*lines)
 	d.bw.consumeWrite(t, lines*mem.CacheLineSize, &d.Stats)
 }
 
@@ -215,7 +215,7 @@ func (d *Device) Fence(t *sim.Thread) {
 			delete(d.dirtyLines, l)
 		}
 	}
-	t.Charge(cost.FenceCost)
+	t.ChargeAs("fence", cost.FenceCost)
 }
 
 func (d *Device) forEachLine(addr mem.PhysAddr, n uint64, fn func(line uint64)) {
@@ -319,7 +319,7 @@ func consume(t *sim.Thread, busyUntil *uint64, n uint64, rate float64, st *Stats
 	if finish > now {
 		stall := finish - now
 		st.ThrottleStall += stall
-		t.Charge(stall)
+		t.ChargeAs("bw_stall", stall)
 	}
 }
 

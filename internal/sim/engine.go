@@ -29,6 +29,21 @@ type Engine struct {
 	stopping bool
 	maxClock uint64
 	panicVal any
+
+	// charged accumulates every cycle booked through Charge/ChargeAs/
+	// AddRemote on any thread. Idle and lock-wait time (wakeAt clamping in
+	// dispatch) is excluded: it is scheduling, not work.
+	charged uint64
+	// sink, when set, receives every charge with its attribution path
+	// (see Thread.PushAttr) — the hook the cycle profiler attaches to.
+	sink func(core int, path string, cycles uint64)
+	// joined interns parent+"."+label concatenations. Attribution paths
+	// are drawn from a small fixed set, but frames open and charges label
+	// millions of times per run; without interning the resulting garbage
+	// forces GC cycles whose recycled spans make every subsequent
+	// gigabyte-sized device allocation eagerly zeroed. Safe without a
+	// lock: exactly one thread of an engine runs at a time.
+	joined map[string]map[string]string
 }
 
 // stopToken is panicked into parked daemon threads at shutdown.
@@ -54,9 +69,17 @@ type Thread struct {
 	started bool
 	fn      func(*Thread)
 
+	// attr is the attribution-frame stack: each element is the full
+	// dotted path of one open frame ("app.syscall.write", ...). Charges
+	// book against the innermost frame.
+	attr []string
+
 	// blockedOn is a human-readable tag for deadlock dumps.
 	blockedOn string
 }
+
+// Unattributed is the path charges book against outside any frame.
+const Unattributed = "unattributed"
 
 type threadState uint8
 
@@ -182,12 +205,90 @@ func (e *Engine) shutdown() {
 // Now returns the thread's virtual clock in cycles.
 func (t *Thread) Now() uint64 { return t.clock }
 
-// Charge advances the thread's clock by c cycles of local work.
-func (t *Thread) Charge(c uint64) { t.clock += c }
+// SetChargeSink routes every subsequent charge on any thread of this
+// engine (with its attribution path and core) to fn. Pass nil to detach.
+func (e *Engine) SetChargeSink(fn func(core int, path string, cycles uint64)) { e.sink = fn }
 
-// SetClock is used by remote-charge mechanisms (IPIs). Only the running
-// thread may call it on another thread.
-func (t *Thread) AddRemote(c uint64) { t.clock += c }
+// TotalCharged reports the cycles booked through Charge/ChargeAs/AddRemote
+// across all threads so far. Because dispatch clamps idle threads forward
+// without charging, this is exactly the engine's total simulated work —
+// the quantity a cycle profile must reconcile against.
+func (e *Engine) TotalCharged() uint64 { return e.charged }
+
+// join returns the interned parent.label path.
+func (e *Engine) join(parent, label string) string {
+	m := e.joined[parent]
+	if m == nil {
+		if e.joined == nil {
+			e.joined = make(map[string]map[string]string)
+		}
+		m = make(map[string]string)
+		e.joined[parent] = m
+	}
+	p, ok := m[label]
+	if !ok {
+		p = parent + "." + label
+		m[label] = p
+	}
+	return p
+}
+
+// PushAttr opens an attribution frame: label nests under the current path
+// ("fault.wp" inside "app.access" books as "app.access.fault.wp"); with no
+// open frame the label becomes a root.
+func (t *Thread) PushAttr(label string) {
+	if n := len(t.attr); n > 0 {
+		label = t.e.join(t.attr[n-1], label)
+	}
+	t.attr = append(t.attr, label)
+}
+
+// PopAttr closes the innermost attribution frame.
+func (t *Thread) PopAttr() { t.attr = t.attr[:len(t.attr)-1] }
+
+// AttrPath returns the innermost frame's full dotted path.
+func (t *Thread) AttrPath() string {
+	if n := len(t.attr); n > 0 {
+		return t.attr[n-1]
+	}
+	return Unattributed
+}
+
+// Charge advances the thread's clock by c cycles of local work, booked
+// against the current attribution frame.
+func (t *Thread) Charge(c uint64) {
+	t.clock += c
+	t.e.charged += c
+	if t.e.sink != nil {
+		t.e.sink(t.Core, t.AttrPath(), c)
+	}
+}
+
+// ChargeAs books c under a one-shot child of the current frame — the cheap
+// way to label leaf costs (walk kinds, nt-stores) without stack churn. The
+// path string is only built when a sink is attached.
+func (t *Thread) ChargeAs(label string, c uint64) {
+	t.clock += c
+	t.e.charged += c
+	if t.e.sink != nil {
+		p := label
+		if n := len(t.attr); n > 0 {
+			p = t.e.join(t.attr[n-1], label)
+		}
+		t.e.sink(t.Core, p, c)
+	}
+}
+
+// AddRemote is used by remote-charge mechanisms (IPIs): the running thread
+// books c onto this (target) thread's timeline, attributed to path on the
+// target's core rather than to the caller's frame.
+func (t *Thread) AddRemote(path string, c uint64) {
+	t.clock += c
+	t.e.charged += c
+	if t.e.sink != nil {
+		t.e.sink(t.Core, path, c)
+	}
+}
 
 // Yield is a synchronization point: the thread re-enters the ready queue at
 // its current clock and resumes once it is the minimum-clock runnable

@@ -307,6 +307,65 @@ func TestSpinLockNoWakeCost(t *testing.T) {
 	}
 }
 
+func TestChargeSinkAttribution(t *testing.T) {
+	e := New()
+	type booked struct {
+		core  int
+		path  string
+		cycle uint64
+	}
+	var got []booked
+	e.SetChargeSink(func(core int, path string, cycles uint64) {
+		got = append(got, booked{core, path, cycles})
+	})
+	e.Go("t0", 3, 0, func(th *Thread) {
+		th.Charge(10) // empty stack -> unattributed
+		th.PushAttr("app")
+		th.Charge(20)
+		th.PushAttr("syscall.read") // nests -> app.syscall.read
+		th.ChargeAs("copy", 30)     // one-shot child
+		th.PopAttr()
+		th.AddRemote("shootdown.ipi_handler", 40) // absolute, ignores stack
+		th.PopAttr()
+	})
+	e.Run()
+	want := []booked{
+		{3, Unattributed, 10},
+		{3, "app", 20},
+		{3, "app.syscall.read.copy", 30},
+		{3, "shootdown.ipi_handler", 40},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sink calls = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sink[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTotalChargedCountsEveryCharge(t *testing.T) {
+	// TotalCharged must equal the sum of all Charge/ChargeAs/AddRemote
+	// amounts — idle time (Sleep) and lock waits are excluded because
+	// dispatch advances clocks without charging.
+	e := New()
+	e.Go("a", 0, 0, func(th *Thread) {
+		th.PushAttr("app")
+		th.Charge(100)
+		th.Sleep(5000) // idle: not charged
+		th.ChargeAs("tail", 11)
+	})
+	e.Go("b", 1, 0, func(th *Thread) {
+		th.Charge(7)
+		th.AddRemote("x.y", 3)
+	})
+	e.Run()
+	if e.TotalCharged() != 121 {
+		t.Fatalf("TotalCharged = %d, want 121", e.TotalCharged())
+	}
+}
+
 func TestGoFromRunningThread(t *testing.T) {
 	e := New()
 	var childClock uint64
