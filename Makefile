@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet test race smoke perf-gate baseline clean
+.PHONY: ci build fmt vet lint test race smoke perf-gate baseline clean
 
-ci: fmt vet build test race smoke perf-gate
+ci: fmt vet lint build test race smoke perf-gate
 
 # Experiments the perf gate runs: cheap, deterministic, and together they
 # exercise the journal, allocator, file tables and mapped-access paths.
@@ -22,6 +22,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: determinism, attribution balance,
+# lock discipline, charge units, deterministic map export (see
+# tools/simlint; suppress findings with //lint:ignore <analyzer> <why>).
+lint:
+	$(GO) run ./tools/simlint ./...
 
 test:
 	$(GO) test ./...

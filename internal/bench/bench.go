@@ -8,7 +8,6 @@ package bench
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 
 	"daxvm/internal/obs"
@@ -138,13 +137,8 @@ func Render(w io.Writer, r *Result) {
 		}
 	}
 	if len(r.Metrics) > 0 {
-		keys := make([]string, 0, len(r.Metrics))
-		for k := range r.Metrics {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
 		fmt.Fprintln(w)
-		for _, k := range keys {
+		for _, k := range obs.SortedKeys(r.Metrics) {
 			fmt.Fprintf(w, "metric: %-40s %10.3f\n", k, r.Metrics[k])
 		}
 	}

@@ -3,8 +3,9 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
 	"strings"
+
+	"daxvm/internal/obs"
 )
 
 // Comparison thresholds. Experiments are deterministic, so drift between
@@ -96,12 +97,7 @@ func CompareArtifacts(oldRaw, newRaw []byte) (*CompareReport, error) {
 	}
 
 	rep := &CompareReport{ID: oa.ID}
-	names := make([]string, 0, len(oa.Metrics))
-	for name := range oa.Metrics {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range obs.SortedKeys(oa.Metrics) {
 		ov := oa.Metrics[name]
 		rep.Checked++
 		nv, ok := na.Metrics[name]
@@ -133,12 +129,7 @@ func CompareArtifacts(oldRaw, newRaw []byte) (*CompareReport, error) {
 				Name: "cycles:total", Old: float64(ob.Total), New: float64(nb.Total), RelChange: rel,
 			})
 		}
-		paths := make([]string, 0, len(ob.Leaves))
-		for p := range ob.Leaves {
-			paths = append(paths, p)
-		}
-		sort.Strings(paths)
-		for _, p := range paths {
+		for _, p := range obs.SortedKeys(ob.Leaves) {
 			ol := ob.Leaves[p]
 			if float64(ol.Cycles) < cycleMinShare*float64(ob.Total) {
 				continue

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareThresholdBoundary pins the tolerance comparison as strict:
+// a metric landing exactly on the 10% boundary passes, one epsilon past
+// it regresses. Guards against an accidental <= / < flip inverting gate
+// behavior for retunes that aim exactly at the documented margin.
+func TestCompareThresholdBoundary(t *testing.T) {
+	atBoundary := mkArtifact(t, func(a *Artifact) {
+		a.Metrics["64K/daxvm"] = 1_350_000 // exactly -10%
+	})
+	rep, err := CompareArtifacts(mkArtifact(t, nil), atBoundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("exact-boundary change flagged: %v", rep.Regressions)
+	}
+	pastBoundary := mkArtifact(t, func(a *Artifact) {
+		a.Metrics["64K/daxvm"] = 1_349_000 // just past -10%
+	})
+	rep, err = CompareArtifacts(mkArtifact(t, nil), pastBoundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Name != "64K/daxvm" {
+		t.Fatalf("past-boundary change not flagged: %v", rep.Regressions)
+	}
+}
+
+// TestCompareNewOnlyMetricIgnored: a metric present only in the new
+// artifact is new coverage, not a regression, and is not counted as
+// checked (the baseline defines the contract).
+func TestCompareNewOnlyMetricIgnored(t *testing.T) {
+	base := mkArtifact(t, nil)
+	extra := mkArtifact(t, func(a *Artifact) {
+		a.Metrics["brand-new-metric"] = 42
+	})
+	repBase, err := CompareArtifacts(base, mkArtifact(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CompareArtifacts(base, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("new-only metric flagged: %v", rep.Regressions)
+	}
+	if rep.Checked != repBase.Checked {
+		t.Fatalf("new-only metric counted as checked: %d vs %d", rep.Checked, repBase.Checked)
+	}
+}
+
+// TestCompareLowerBetterID: for an id-level lower-is-better experiment
+// (storage footprints), growth past tolerance regresses and shrinkage is
+// an improvement — the exact mirror of the throughput rule.
+func TestCompareLowerBetterID(t *testing.T) {
+	asStorage := func(extra func(a *Artifact)) []byte {
+		return mkArtifact(t, func(a *Artifact) {
+			a.ID = "storage"
+			a.ConfigHash = configHash("storage", true)
+			if extra != nil {
+				extra(a)
+			}
+		})
+	}
+	grown := asStorage(func(a *Artifact) { a.Metrics["64K/daxvm"] *= 1.12 })
+	rep, err := CompareArtifacts(asStorage(nil), grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Name != "64K/daxvm" {
+		t.Fatalf("lower-is-better growth not flagged: %v", rep.Regressions)
+	}
+	shrunk := asStorage(func(a *Artifact) { a.Metrics["64K/daxvm"] *= 0.5 })
+	rep, err = CompareArtifacts(asStorage(nil), shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("lower-is-better improvement flagged: %v", rep.Regressions)
+	}
+}
+
+// TestCompareVanishedCycleLeaf: a leaf that disappears from the new
+// breakdown spent zero cycles — an improvement, never a regression
+// (unlike a vanished metric, which is a lost measurement).
+func TestCompareVanishedCycleLeaf(t *testing.T) {
+	faster := mkArtifact(t, func(a *Artifact) {
+		delete(a.CycleBreakdown.Leaves, "app.syscall.append.journal.commit")
+		a.CycleBreakdown.Total -= 200_000
+	})
+	rep, err := CompareArtifacts(mkArtifact(t, nil), faster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("vanished cycle leaf flagged: %v", rep.Regressions)
+	}
+}
+
+// TestCompareBelowMinShareIgnored: even a 10x blowup on a leaf holding
+// under 0.5% of the attributed total stays invisible — the share filter
+// keeps micro-leaves from gating.
+func TestCompareBelowMinShareIgnored(t *testing.T) {
+	blown := mkArtifact(t, func(a *Artifact) {
+		l := a.CycleBreakdown.Leaves["app.tiny"]
+		l.Cycles *= 10
+		a.CycleBreakdown.Leaves["app.tiny"] = l
+	})
+	rep, err := CompareArtifacts(mkArtifact(t, nil), blown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Regressions {
+		if strings.HasPrefix(r.Name, "cycles:app.tiny") {
+			t.Fatalf("below-min-share leaf flagged: %v", r)
+		}
+	}
+}

@@ -92,7 +92,8 @@ func (m *Monitor) migrate(t *sim.Thread) {
 	d := p.d
 	migratedAny := false
 	p.MM.Sem.Lock(t, cost.SemAcquireFast)
-	for _, ft := range d.tables {
+	for _, ino := range obs.SortedKeys(d.tables) {
+		ft := d.tables[ino]
 		if !ft.Persistent || ft.Migrated {
 			continue
 		}

@@ -9,6 +9,24 @@
 // paper cites for the same purpose; the rest are order-of-magnitude values
 // from the cited systems literature, tuned so the paper's relative results
 // reproduce (see EXPERIMENTS.md).
+//
+// # Typed-units naming convention
+//
+// Identifiers carry their unit in a name suffix, and the simlint
+// chargeunits analyzer enforces that arithmetic does not mix them:
+//
+//   - bare names, and the suffixes Cycles/Cost/Latency/Lat: CPU cycles
+//     (every constant in this package is cycle-valued unless its suffix
+//     says otherwise)
+//   - NS/Ns/Nanos: wall nanoseconds — convert with Cycles() before
+//     charging
+//   - Bytes, Pages: quantities, never durations
+//   - Per<X> (PerPage, PerCycle, PerSecond, ...) and Pct: conversion
+//     rates; multiplying by one changes units, so products are untyped
+//
+// Thread.Charge/ChargeAs/AddRemote/Sleep take cycles; adding a
+// ns/byte/page value to a cycle value is flagged until it goes through a
+// rate constant or Cycles().
 package cost
 
 // Frequency of the simulated cores.

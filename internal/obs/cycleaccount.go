@@ -20,9 +20,10 @@ import (
 // Engine.TotalCharged() over every engine wired to the account — the
 // profile cannot silently lose time.
 type CycleAccount struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// guarded by mu
 	leaves map[string]*cycleLeaf
-	total  uint64
+	total  uint64 // guarded by mu
 }
 
 type cycleLeaf struct {
@@ -143,12 +144,7 @@ func (s CycleSnapshot) TotalOf(prefix string) uint64 {
 // consumable by flamegraph.pl or speedscope. Lines are sorted for
 // deterministic output.
 func (s CycleSnapshot) WriteFolded(w io.Writer) error {
-	paths := make([]string, 0, len(s.Leaves))
-	for p := range s.Leaves {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	for _, p := range paths {
+	for _, p := range SortedKeys(s.Leaves) {
 		if _, err := fmt.Fprintf(w, "%s %d\n", strings.ReplaceAll(p, ".", ";"), s.Leaves[p].Cycles); err != nil {
 			return err
 		}

@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"sort"
 	"sync"
 )
 
@@ -14,9 +13,11 @@ import (
 // Re-registering a name replaces the reader — when several machines share
 // one registry (an experiment sweep), the latest boot wins.
 type Registry struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// guarded by mu
 	counters map[string]func() uint64
-	hists    map[string]*Histogram
+	// guarded by mu
+	hists map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.
@@ -58,12 +59,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.counters))
-	for n := range r.counters {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	return SortedKeys(r.counters)
 }
 
 // Snapshot reads every registered counter and histogram. Call it at

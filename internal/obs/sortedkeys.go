@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order. Go randomizes map
+// iteration; any loop whose per-iteration effects are observable — trace
+// emission, cycle charging, artifact output — must iterate through this
+// (the simlint detmap and determinism analyzers enforce it).
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}

@@ -42,11 +42,13 @@ type Event struct {
 // tracer therefore has fixed memory cost. Safe for concurrent emitters
 // (the sim is single-threaded, but -race and multi-engine setups are not).
 type Tracer struct {
-	mu      sync.Mutex
-	buf     []Event
+	mu sync.Mutex
+	// guarded by mu
+	buf []Event
+	// guarded by mu
 	next    int
-	wrapped bool
-	dropped uint64
+	wrapped bool   // guarded by mu
+	dropped uint64 // guarded by mu
 
 	// CyclesPerUsec converts virtual cycles to trace microseconds on
 	// export (default 2700, the simulator's 2.7 GHz clock).

@@ -383,6 +383,9 @@ func (t *Thread) resumeOrStart() {
 	}
 	if !t.started {
 		t.started = true
+		// The scheduler's own token handoff: exactly one goroutine runs at
+		// a time, so this spawn cannot race.
+		//lint:ignore determinism token-handoff scheduler owns this spawn
 		go t.main()
 	}
 	t.resume <- struct{}{}

@@ -1,0 +1,52 @@
+package ana
+
+import "go/ast"
+
+// Terminates reports whether control cannot fall off the end of stmts:
+// the last statement returns, branches, panics, or loops forever. It is
+// deliberately syntactic — `break` out of the infinite loop defeats it,
+// which the balance analyzers accept as a false-negative trade.
+func Terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.ForStmt:
+		return s.Cond == nil
+	case *ast.LabeledStmt:
+		return Terminates([]ast.Stmt{s.Stmt})
+	case *ast.BlockStmt:
+		return Terminates(s.List)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		var elseTerm bool
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseTerm = Terminates(e.List)
+		case *ast.IfStmt:
+			elseTerm = Terminates([]ast.Stmt{e})
+		}
+		return Terminates(s.Body.List) && elseTerm
+	}
+	return false
+}
+
+// EndsWithForever reports whether the last statement is an unconditional
+// infinite loop — the daemon-body shape that never returns.
+func EndsWithForever(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	f, ok := stmts[len(stmts)-1].(*ast.ForStmt)
+	return ok && f.Cond == nil
+}

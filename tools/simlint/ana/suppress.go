@@ -1,0 +1,59 @@
+package ana
+
+import (
+	"regexp"
+	"strings"
+)
+
+// ignoreRe matches staticcheck-style suppression comments:
+//
+//	//lint:ignore determinism the engine's token handoff is deterministic
+//	//lint:ignore attrbalance,lockdiscipline reason...
+//
+// The named analyzers are silenced on the comment's own line and on the
+// line directly below it (so the comment can trail the statement or sit
+// on its own line above it). "all" silences every analyzer.
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)(?:\s|$)`)
+
+// filterSuppressed drops diagnostics covered by //lint:ignore comments.
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// file -> line -> analyzer names silenced there.
+	silenced := map[string]map[int][]string{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := silenced[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					silenced[pos.Filename] = byLine
+				}
+				names := strings.Split(m[1], ",")
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], names...)
+			}
+		}
+	}
+	if len(silenced) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		keep := true
+		for _, name := range silenced[pos.Filename][pos.Line] {
+			if name == d.Analyzer || name == "all" {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, d)
+		}
+	}
+	return out
+}

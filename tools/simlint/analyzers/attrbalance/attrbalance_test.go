@@ -1,0 +1,12 @@
+package attrbalance_test
+
+import (
+	"testing"
+
+	"daxvm/tools/simlint/analyzers/attrbalance"
+	"daxvm/tools/simlint/anatest"
+)
+
+func TestAttrBalance(t *testing.T) {
+	anatest.Run(t, "testdata", attrbalance.Analyzer, "attr")
+}

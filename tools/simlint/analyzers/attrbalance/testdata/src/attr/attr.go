@@ -1,0 +1,96 @@
+// Package attr exercises the attrbalance analyzer.
+package attr
+
+import (
+	"daxvm/tools/simlint/teststub/sim"
+)
+
+func leakOnReturn(t *sim.Thread) {
+	t.PushAttr("fault") // want `PushAttr frame is still open when the function returns`
+	t.Charge(10)
+}
+
+func leakOnEarlyReturn(t *sim.Thread, err error) error {
+	t.PushAttr("syscall")
+	if err != nil {
+		return err // want `return leaves 1 attribution frame\(s\) open`
+	}
+	t.PopAttr()
+	return nil
+}
+
+func balancedLinear(t *sim.Thread) {
+	t.PushAttr("fault")
+	t.Charge(10)
+	t.PopAttr()
+}
+
+func balancedDefer(t *sim.Thread, err error) error {
+	t.PushAttr("syscall")
+	defer t.PopAttr()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func popWithoutPush(t *sim.Thread) {
+	t.PopAttr() // want `PopAttr without an open PushAttr frame`
+}
+
+func oneSidedBranch(t *sim.Thread, b bool) {
+	if b { // want `attribution frame opened or closed on only one side of a branch`
+		t.PushAttr("maybe") // opened on one side only
+	}
+	t.Charge(1)
+}
+
+func unbalancedLoop(t *sim.Thread, n int) {
+	for i := 0; i < n; i++ { // want `loop iteration changes the attribution frame balance`
+		t.PushAttr("iter")
+	}
+}
+
+func balancedLoop(t *sim.Thread, n int) {
+	for i := 0; i < n; i++ {
+		t.PushAttr("iter")
+		t.Charge(1)
+		t.PopAttr()
+	}
+}
+
+// sysEnter mirrors the kernel idiom: the frame is closed by the closure
+// the function hands back to its caller, which defers it.
+func sysEnter(t *sim.Thread, name string) func() {
+	t.PushAttr("syscall." + name)
+	t.Charge(1000)
+	return func() {
+		t.Charge(700)
+		t.PopAttr()
+	}
+}
+
+// threadRoot mirrors Engine.Go(..., func(t){...}): the root frame stays
+// open for the thread's whole life.
+func threadRoot(e *sim.Engine) {
+	e.Go("app", 0, 0, func(t *sim.Thread) {
+		t.PushAttr("app")
+		t.Charge(1)
+	})
+}
+
+// daemonLoop mirrors monitor/prezero daemons: a root frame followed by
+// an infinite loop.
+func daemonLoop(t *sim.Thread) {
+	t.PushAttr("daemon.monitor")
+	for {
+		t.Sleep(100)
+		t.ChargeAs("sample", 10)
+	}
+}
+
+func suppressedLeak(t *sim.Thread) {
+	//lint:ignore attrbalance frame intentionally spans the thread's life
+	t.PushAttr("root")
+	t.Charge(1)
+}

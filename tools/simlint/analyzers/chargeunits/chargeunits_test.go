@@ -1,0 +1,12 @@
+package chargeunits_test
+
+import (
+	"testing"
+
+	"daxvm/tools/simlint/analyzers/chargeunits"
+	"daxvm/tools/simlint/anatest"
+)
+
+func TestChargeUnits(t *testing.T) {
+	anatest.Run(t, "testdata", chargeunits.Analyzer, "units")
+}

@@ -1,0 +1,59 @@
+// Package units exercises the chargeunits analyzer against the real
+// cost package's constants.
+package units
+
+import (
+	"daxvm/internal/cost"
+	"daxvm/tools/simlint/teststub/sim"
+)
+
+func mixedAdd(copyNS float64) uint64 {
+	latencyNS := 305.0
+	_ = latencyNS + float64(cost.PMemLoadLatency) // want `expression mixes nanoseconds and cycles`
+	return cost.Cycles(latencyNS + copyNS)        // additive in ns, converted: fine
+}
+
+func mixedCompare(sizeBytes uint64) bool {
+	return sizeBytes > cost.JournalCommit // want `expression mixes bytes and cycles`
+}
+
+func mixedAssign(totalCycles uint64, deltaNS uint64) uint64 {
+	totalCycles += deltaNS // want `expression mixes cycles and nanoseconds`
+	totalCycles += cost.FsyncFixed
+	return totalCycles
+}
+
+func chargeWrongUnit(t *sim.Thread, copyBytes uint64) {
+	t.Charge(copyBytes) // want `Charge expects cycles, got a bytes-valued expression`
+	t.Charge(cost.ReadWriteFixed)
+	t.ChargeAs("flush", cost.ClwbCost+cost.FenceCost)
+}
+
+func sleepWrongUnit(t *sim.Thread, periodNS uint64) {
+	t.Sleep(periodNS) // want `Sleep expects cycles, got a nanoseconds-valued expression`
+	t.Sleep(cost.SchedWakeup)
+}
+
+func cyclesWrongUnit(numPages uint64) uint64 {
+	return cost.Cycles(float64(numPages)) // want `cost\.Cycles expects nanoseconds, got a pages-valued expression`
+}
+
+func cyclesRightUnit(elapsedNS float64) uint64 {
+	return cost.Cycles(elapsedNS)
+}
+
+func rateConversionOK(t *sim.Thread, numPages uint64) {
+	// Multiplying by a Per<X> rate changes units; the product is
+	// deliberately untyped and charging it is fine.
+	t.Charge(numPages * cost.CopyDRAMPerPage)
+}
+
+func thresholdOK(numPages uint64) bool {
+	// pages compared against a pages-suffixed threshold: same unit.
+	return numPages > cost.FullFlushThresholdPages
+}
+
+func suppressedMix(walkCycles, wallNS uint64) uint64 {
+	//lint:ignore chargeunits calibration scratch math, units checked by hand
+	return walkCycles + wallNS
+}

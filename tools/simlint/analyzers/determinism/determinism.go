@@ -1,0 +1,127 @@
+// Package determinism forbids wall-clock time, the unseeded global
+// math/rand source, raw goroutines, scheduler-nondeterministic selects,
+// and map iteration that charges cycles or emits trace events. The
+// simulator's perf gate compares artifacts byte-for-byte; any of these
+// constructs can silently perturb the numbers between runs.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"daxvm/tools/simlint/ana"
+)
+
+// Analyzer is the determinism check.
+var Analyzer = &ana.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock time, unseeded math/rand, raw go statements, " +
+		"multi-case selects, and map iteration that charges cycles or emits trace events",
+	Run: run,
+}
+
+// seededRandOK lists the math/rand package-level functions that do not
+// touch the global source: constructing explicitly seeded generators is
+// the sanctioned way to get randomness.
+var seededRandOK = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// wallClock lists time-package functions that read or wait on the host
+// clock. (Formatting and duration arithmetic are fine.)
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true, "AfterFunc": true,
+}
+
+func run(pass *ana.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "raw go statement bypasses the virtual-time scheduler; use Engine.Go/GoDaemon (or suppress with //lint:ignore determinism <why>)")
+			case *ast.SelectStmt:
+				if commCases(n) > 1 {
+					pass.Reportf(n.Pos(), "select over multiple channels resolves in runtime-scheduler order, not virtual time")
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func commCases(s *ast.SelectStmt) int {
+	n := 0
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func checkCall(pass *ana.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	isPkgLevel := fn.Type().(*types.Signature).Recv() == nil
+	switch {
+	case pkg == "time" && isPkgLevel && wallClock[name]:
+		pass.Reportf(call.Pos(), "wall-clock time.%s in simulator code; all time must be virtual (sim.Thread cycles)", name)
+	case (pkg == "math/rand" || pkg == "math/rand/v2") && isPkgLevel && !seededRandOK[name]:
+		pass.Reportf(call.Pos(), "global math/rand.%s draws from a shared process-wide source; use rand.New(rand.NewSource(seed))", name)
+	}
+}
+
+// checkMapRange flags `for ... := range m` over a map whose body books
+// cycles or emits trace events: both are order-sensitive, and Go map
+// iteration order is deliberately randomized.
+func checkMapRange(pass *ana.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg().Name() == "sim" && (fn.Name() == "Charge" || fn.Name() == "ChargeAs" || fn.Name() == "AddRemote"):
+			pass.Reportf(rng.Pos(), "map iteration order is randomized but the body charges cycles (%s); iterate a sorted key slice (obs.SortedKeys)", fn.Name())
+			return false
+		case fn.Pkg().Name() == "obs" && fn.Name() == "Emit":
+			pass.Reportf(rng.Pos(), "map iteration order is randomized but the body emits trace events; iterate a sorted key slice (obs.SortedKeys)")
+			return false
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves a call's target to a *types.Func (methods and
+// package-level functions; nil for builtins, conversions, func values).
+func calleeFunc(pass *ana.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"daxvm/tools/simlint/analyzers/determinism"
+	"daxvm/tools/simlint/anatest"
+)
+
+func TestDeterminism(t *testing.T) {
+	anatest.Run(t, "testdata", determinism.Analyzer, "det")
+}

@@ -1,0 +1,75 @@
+// Package det exercises the determinism analyzer: wall clocks, the
+// global rand source, raw goroutines, selects, and charging map ranges.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"daxvm/tools/simlint/teststub/obs"
+	"daxvm/tools/simlint/teststub/sim"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `wall-clock time\.Now`
+	time.Sleep(0)            // want `wall-clock time\.Sleep`
+	return time.Since(start) // want `wall-clock time\.Since`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+func seededRandOK(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func rawGoroutine() {
+	go func() {}() // want `raw go statement`
+}
+
+func suppressedGoroutine() {
+	//lint:ignore determinism token handoff keeps this deterministic
+	go func() {}()
+}
+
+func multiSelect(a, b chan int) int {
+	select { // want `select over multiple channels`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func singleSelectOK(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}
+
+func chargingMapRange(t *sim.Thread, costs map[string]uint64) {
+	for _, c := range costs { // want `map iteration order is randomized but the body charges cycles`
+		t.Charge(c)
+	}
+}
+
+func emittingMapRange(tr *obs.Tracer, costs map[string]uint64) {
+	for name, c := range costs { // want `map iteration order is randomized but the body emits trace events`
+		tr.Emit(name, 0, 0, c, "", 0)
+	}
+}
+
+func sortedMapRangeOK(t *sim.Thread, costs map[string]uint64) {
+	keys := make([]string, 0, len(costs))
+	for k := range costs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.Charge(costs[k])
+	}
+}

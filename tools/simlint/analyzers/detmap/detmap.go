@@ -1,0 +1,92 @@
+// Package detmap forbids ranging directly over a map while writing
+// output: Go randomizes map iteration order, so any bytes produced
+// inside such a loop — bench artifacts, folded stacks, trace exports —
+// differ from run to run and break the byte-stable perf gate. Iterate
+// over obs.SortedKeys(m) (or an explicitly sorted slice) instead.
+//
+// A map range that only aggregates (sums, counts, collects keys for
+// later sorting) is fine and not flagged.
+package detmap
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"daxvm/tools/simlint/ana"
+)
+
+// Analyzer is the deterministic-map-iteration check.
+var Analyzer = &ana.Analyzer{
+	Name: "detmap",
+	Doc:  "forbid writing output from inside a range over a map; iterate sorted keys instead",
+	Run:  run,
+}
+
+// emitMethods are methods that move bytes toward an export surface.
+var emitMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true, "Emit": true,
+}
+
+func run(pass *ana.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if call := findEmit(pass, rng.Body); call != nil {
+				pass.Reportf(rng.Pos(), "map iteration order is random but the body writes output (%s); range over obs.SortedKeys instead", callName(call))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findEmit returns the first output-producing call in body, if any.
+func findEmit(pass *ana.Pass, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func); fn != nil && fn.Pkg() != nil {
+			pkg := fn.Pkg().Name()
+			if pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				found = call
+				return false
+			}
+			if emitMethods[name] && fn.Type().(*types.Signature).Recv() != nil {
+				found = call
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "write"
+}

@@ -1,0 +1,12 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"daxvm/tools/simlint/analyzers/detmap"
+	"daxvm/tools/simlint/anatest"
+)
+
+func TestDetMap(t *testing.T) {
+	anatest.Run(t, "testdata", detmap.Analyzer, "dm")
+}

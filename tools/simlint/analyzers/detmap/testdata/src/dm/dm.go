@@ -1,0 +1,51 @@
+// Package dm exercises the detmap analyzer.
+package dm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"daxvm/tools/simlint/teststub/obs"
+)
+
+func printUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order is random but the body writes output \(Fprintf\)`
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}
+
+func builderUnsorted(m map[string]uint64) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration order is random but the body writes output \(WriteString\)`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func traceUnsorted(tr *obs.Tracer, m map[string]uint64) {
+	for tag, v := range m { // want `map iteration order is random but the body writes output \(Emit\)`
+		tr.Emit("export", 0, 0, 0, tag, v)
+	}
+}
+
+func printSorted(w io.Writer, m map[string]int) {
+	for _, k := range obs.SortedKeys(m) {
+		fmt.Fprintf(w, "%s %d\n", k, m[k])
+	}
+}
+
+func aggregateOnly(m map[string]uint64) uint64 {
+	var sum uint64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func suppressedSingleton(w io.Writer, m map[string]int) {
+	//lint:ignore detmap map has exactly one key by construction
+	for k, v := range m {
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}

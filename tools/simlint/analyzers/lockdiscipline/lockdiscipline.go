@@ -1,0 +1,385 @@
+// Package lockdiscipline checks two properties of the simulator's
+// instrumented locks (sim.Mutex, sim.SpinLock, sim.RWSem) and plain
+// sync locks:
+//
+//  1. Pairing: every Lock/RLock must be matched by an Unlock/RUnlock of
+//     the same lock and mode on all paths out of the function — either
+//     a dominating defer or an explicit release before each return.
+//  2. Guarded fields: a struct field annotated `// guarded by <lock>`
+//     may only be touched by functions that acquire that lock (by name)
+//     somewhere in their body, or whose doc comment declares
+//     `holds <lock>` (the caller already acquired it).
+//
+// A function whose doc says `holds <lock>` is also exempt from pairing
+// for that lock, so helpers that release a caller-held lock are legal.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"daxvm/tools/simlint/ana"
+)
+
+// Analyzer is the lock pairing + guarded-field check.
+var Analyzer = &ana.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "pair instrumented-lock acquire/release on all paths and enforce `guarded by` field annotations",
+	Run:  run,
+}
+
+var lockTypes = map[string]map[string]bool{
+	"sim":  {"Mutex": true, "SpinLock": true, "RWSem": true},
+	"sync": {"Mutex": true, "RWMutex": true},
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *ana.Pass) error {
+	if pass.Pkg.Name() == "sim" {
+		// The lock implementation itself is out of scope.
+		return nil
+	}
+	guards := collectGuards(pass) // field object -> lock field name
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := holdsFromDoc(fd.Doc)
+			checkPairing(pass, fd, held)
+			checkGuards(pass, fd, guards, held)
+		}
+	}
+	return nil
+}
+
+// holdsFromDoc extracts lock names a doc comment declares as held, e.g.
+// "reconcile holds mu and walks the leaf map."
+func holdsFromDoc(doc *ast.CommentGroup) map[string]bool {
+	held := map[string]bool{}
+	if doc == nil {
+		return held
+	}
+	re := regexp.MustCompile(`holds (\w+)`)
+	for _, m := range re.FindAllStringSubmatch(doc.Text(), -1) {
+		held[m[1]] = true
+	}
+	return held
+}
+
+// collectGuards maps struct field objects annotated `guarded by <name>`
+// to the lock field's name.
+func collectGuards(pass *ana.Pass) map[types.Object]string {
+	guards := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				var text string
+				if field.Doc != nil {
+					text += field.Doc.Text()
+				}
+				if field.Comment != nil {
+					text += field.Comment.Text()
+				}
+				m := guardedRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = m[1]
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// ---- pairing ----
+
+// lockOp describes one acquire/release call: the textual receiver key
+// plus the mode ("w" for Lock/Unlock, "r" for RLock/RUnlock).
+type lockOp struct {
+	key     string
+	acquire bool
+}
+
+var methodOps = map[string]struct {
+	mode    string
+	acquire bool
+}{
+	"Lock":    {"w", true},
+	"Unlock":  {"w", false},
+	"RLock":   {"r", true},
+	"RUnlock": {"r", false},
+}
+
+// classify resolves call to a lock operation, or ok=false.
+func classify(pass *ana.Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	op, ok := methodOps[sel.Sel.Name]
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return lockOp{}, false
+	}
+	names := lockTypes[fn.Pkg().Name()]
+	if names == nil {
+		return lockOp{}, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return lockOp{}, false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !names[named.Obj().Name()] {
+		return lockOp{}, false
+	}
+	return lockOp{key: types.ExprString(sel.X) + "/" + op.mode, acquire: op.acquire}, true
+}
+
+type lockState struct {
+	held     map[string]int
+	deferred map[string]int
+	pos      map[string]token.Pos // last acquire position per key
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]int{}, deferred: map[string]int{}, pos: map[string]token.Pos{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k, v := range s.deferred {
+		c.deferred[k] = v
+	}
+	for k, v := range s.pos {
+		c.pos[k] = v
+	}
+	return c
+}
+
+func (s *lockState) copyFrom(o *lockState) {
+	s.held, s.deferred, s.pos = o.held, o.deferred, o.pos
+}
+
+// baseName returns the last selector component of a key like "r.mu/w".
+func baseName(key string) string {
+	key = strings.TrimSuffix(strings.TrimSuffix(key, "/w"), "/r")
+	if i := strings.LastIndex(key, "."); i >= 0 {
+		key = key[i+1:]
+	}
+	return key
+}
+
+type pairWalker struct {
+	pass *ana.Pass
+	// held names from the doc comment: pairing violations on these lock
+	// names are the caller's business, not ours.
+	exempt map[string]bool
+}
+
+func checkPairing(pass *ana.Pass, fd *ast.FuncDecl, exempt map[string]bool) {
+	w := &pairWalker{pass: pass, exempt: exempt}
+	st := newLockState()
+	w.stmts(fd.Body.List, st)
+	if ana.Terminates(fd.Body.List) || ana.EndsWithForever(fd.Body.List) {
+		return
+	}
+	w.checkRelease(st, fd.Body.End(), true)
+}
+
+// checkRelease reports any key still held at an exit point. At the end
+// of the function the acquire site is the useful position; at an early
+// return, the return statement itself is.
+func (w *pairWalker) checkRelease(st *lockState, exit token.Pos, preferAcquire bool) {
+	for _, key := range sortedKeys(st.held) {
+		n := st.held[key] - st.deferred[key]
+		if n <= 0 || w.exempt[baseName(key)] {
+			continue
+		}
+		pos := exit
+		if preferAcquire && st.pos[key].IsValid() {
+			pos = st.pos[key]
+		}
+		w.pass.Reportf(pos, "lock %s is still held on a path out of the function; release it or defer the unlock", key)
+	}
+}
+
+func (w *pairWalker) stmts(stmts []ast.Stmt, st *lockState) {
+	for _, s := range stmts {
+		w.stmt(s, st)
+	}
+}
+
+func (w *pairWalker) stmt(s ast.Stmt, st *lockState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if op, ok := classify(w.pass, call); ok {
+				if op.acquire {
+					st.held[op.key]++
+					st.pos[op.key] = call.Pos()
+				} else if st.held[op.key] > 0 {
+					st.held[op.key]--
+				} else if !w.exempt[baseName(op.key)] {
+					w.pass.Reportf(call.Pos(), "release of %s which is not held on this path", op.key)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if op, ok := classify(w.pass, s.Call); ok {
+			if op.acquire {
+				w.pass.Reportf(s.Pos(), "deferred lock acquire of %s", op.key)
+			} else {
+				st.deferred[op.key]++
+			}
+		}
+	case *ast.ReturnStmt:
+		w.checkRelease(st, s.Pos(), false)
+	case *ast.IfStmt:
+		w.branch(s.Body.List, st, s.Body.Pos())
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			w.branch(e.List, st, e.Pos())
+		case *ast.IfStmt:
+			w.branch([]ast.Stmt{e}, st, e.Pos())
+		}
+	case *ast.ForStmt:
+		w.loop(s.Body.List, st, s.Pos())
+	case *ast.RangeStmt:
+		w.loop(s.Body.List, st, s.Pos())
+	case *ast.BlockStmt:
+		w.stmts(s.List, st)
+	case *ast.SwitchStmt:
+		w.caseClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		w.caseClauses(s.Body, st)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.branch(cc.Body, st, cc.Pos())
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, st)
+	}
+}
+
+func (w *pairWalker) caseClauses(body *ast.BlockStmt, st *lockState) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			w.branch(cc.Body, st, cc.Pos())
+		}
+	}
+}
+
+func (w *pairWalker) branch(stmts []ast.Stmt, st *lockState, pos token.Pos) {
+	saved := st.clone()
+	w.stmts(stmts, st)
+	if ana.Terminates(stmts) {
+		st.copyFrom(saved)
+		return
+	}
+	if !sameHeld(st.held, saved.held) {
+		w.pass.Reportf(pos, "lock held on only one side of a branch")
+		st.copyFrom(saved)
+	}
+}
+
+func (w *pairWalker) loop(stmts []ast.Stmt, st *lockState, pos token.Pos) {
+	saved := st.clone()
+	w.stmts(stmts, st)
+	if !ana.Terminates(stmts) && !sameHeld(st.held, saved.held) {
+		w.pass.Reportf(pos, "loop iteration changes which locks are held")
+	}
+	st.copyFrom(saved)
+}
+
+func sameHeld(a, b map[string]int) bool {
+	for k, v := range a {
+		if v != b[k] {
+			return false
+		}
+	}
+	for k, v := range b {
+		if v != a[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ---- guarded fields ----
+
+// checkGuards verifies fd only touches guarded fields while acquiring
+// the named lock somewhere in its body (or declaring `holds <lock>`).
+func checkGuards(pass *ana.Pass, fd *ast.FuncDecl, guards map[types.Object]string, held map[string]bool) {
+	if len(guards) == 0 {
+		return
+	}
+	acquired := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := classify(pass, call); ok && op.acquire {
+			acquired[baseName(op.key)] = true
+		}
+		return true
+	})
+	reported := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		lock, guarded := guards[obj]
+		if !guarded {
+			return true
+		}
+		if !acquired[lock] && !held[lock] && !reported[obj] {
+			reported[obj] = true
+			pass.Reportf(sel.Sel.Pos(), "field %s is guarded by %s, but the function neither acquires it nor declares `holds %s`", sel.Sel.Name, lock, lock)
+		}
+		return true
+	})
+}

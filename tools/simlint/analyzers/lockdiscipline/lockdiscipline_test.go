@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"daxvm/tools/simlint/analyzers/lockdiscipline"
+	"daxvm/tools/simlint/anatest"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	anatest.Run(t, "testdata", lockdiscipline.Analyzer, "locks")
+}

@@ -1,0 +1,114 @@
+// Package locks exercises the lockdiscipline analyzer.
+package locks
+
+import (
+	"sync"
+
+	"daxvm/tools/simlint/teststub/sim"
+)
+
+type table struct {
+	mu sim.Mutex
+	// guarded by mu
+	entries map[string]int
+	hits    int // guarded by mu
+}
+
+func leakOnReturn(t *sim.Thread, tb *table) {
+	tb.mu.Lock(t, 10) // want `lock tb\.mu/w is still held on a path out of the function`
+	tb.entries["a"] = 1
+}
+
+func leakOnEarlyReturn(t *sim.Thread, tb *table, err error) error {
+	tb.mu.Lock(t, 10)
+	if err != nil {
+		return err // want `lock tb\.mu/w is still held on a path out of the function`
+	}
+	tb.mu.Unlock(t, 10)
+	return nil
+}
+
+func balancedDefer(t *sim.Thread, tb *table) {
+	tb.mu.Lock(t, 10)
+	defer tb.mu.Unlock(t, 10)
+	tb.entries["a"] = 1
+}
+
+func balancedEarlyReturn(t *sim.Thread, tb *table, err error) error {
+	tb.mu.Lock(t, 10)
+	if err != nil {
+		tb.mu.Unlock(t, 10)
+		return err
+	}
+	tb.hits++
+	tb.mu.Unlock(t, 10)
+	return nil
+}
+
+func releaseWithoutAcquire(t *sim.Thread, tb *table) {
+	tb.mu.Unlock(t, 10) // want `release of tb\.mu/w which is not held on this path`
+}
+
+func lockedInBranchOnly(t *sim.Thread, tb *table, b bool) {
+	if b { // want `lock held on only one side of a branch`
+		tb.mu.Lock(t, 10)
+	}
+	tb.mu.Unlock(t, 10) // want `release of tb\.mu/w which is not held on this path`
+}
+
+type rwtable struct {
+	sem sim.RWSem
+	// guarded by sem
+	rows []int
+}
+
+func wrongMode(t *sim.Thread, rt *rwtable) int {
+	rt.sem.RLock(t, 5)
+	n := len(rt.rows)
+	rt.sem.Unlock(t, 5) // want `release of rt\.sem/w which is not held on this path`
+	return n            // want `lock rt\.sem/r is still held on a path out of the function`
+}
+
+func readerOK(t *sim.Thread, rt *rwtable) int {
+	rt.sem.RLock(t, 5)
+	defer rt.sem.RUnlock(t, 5)
+	return len(rt.rows)
+}
+
+type counter struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+}
+
+func syncLeak(c *counter) {
+	c.mu.Lock() // want `lock c\.mu/w is still held on a path out of the function`
+	c.n++
+}
+
+func syncBalanced(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func guardedWithoutLock(c *counter) int {
+	return c.n // want `field n is guarded by mu`
+}
+
+// snapshotLocked holds mu; the caller acquires it.
+func snapshotLocked(c *counter) int {
+	return c.n
+}
+
+// drainLocked holds mu and releases it on behalf of the caller.
+func drainLocked(c *counter) {
+	c.n = 0
+	c.mu.Unlock()
+}
+
+func suppressedLeak(c *counter) {
+	//lint:ignore lockdiscipline handed off to the finalizer
+	c.mu.Lock()
+	c.n++
+}

@@ -1,0 +1,116 @@
+// Package anatest is a minimal analysistest-style harness: it loads
+// fixture packages from an analyzer's testdata/src tree, runs the
+// analyzer, and checks reported diagnostics against `// want "regexp"`
+// comments on the offending lines. Fixtures are ordinary compiling Go
+// packages inside the module (testdata directories are invisible to
+// `./...` patterns, so `make lint`, vet and builds never see them).
+package anatest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"daxvm/tools/simlint/ana"
+)
+
+// wantRe pulls the quoted regexps out of a want comment; both
+// `// want "..."` and backquoted forms are accepted, the latter so
+// regexps need no double escaping.
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quotedRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> for each named fixture package, applies a,
+// and fails t on any mismatch between diagnostics and want comments.
+func Run(t *testing.T, testdata string, a *ana.Analyzer, fixtures ...string) {
+	t.Helper()
+	patterns := make([]string, len(fixtures))
+	for i, p := range fixtures {
+		patterns[i] = "./src/" + p
+	}
+	pkgs, err := ana.Load(testdata, patterns...)
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	if len(pkgs) != len(fixtures) {
+		t.Fatalf("loaded %d packages, want %d", len(pkgs), len(fixtures))
+	}
+	for _, pkg := range pkgs {
+		diags, err := ana.Run(a, pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		checkPackage(t, pkg, diags)
+	}
+}
+
+func checkPackage(t *testing.T, pkg *ana.Package, diags []ana.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, f := range pkg.Syntax {
+		collectWants(t, pkg.Fset, f, wants)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		exps := wants[key]
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.re)
+			}
+		}
+	}
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, wants map[string][]*expectation) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+			for _, q := range quotedRe.FindAllString(m[1], -1) {
+				s, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s: bad want string %s: %v", key, q, err)
+				}
+				re, err := regexp.Compile(s)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", key, s, err)
+				}
+				wants[key] = append(wants[key], &expectation{re: re})
+			}
+			if strings.TrimSpace(m[1]) == "" {
+				t.Fatalf("%s: want comment with no quoted regexp", key)
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Command simlint is the simulator's multichecker: it loads the
+// packages named by its argument patterns (default ./...) and runs the
+// project's custom analyzers plus reduced ports of three stock ones.
+//
+// Each analyzer applies to the scope where its invariant holds:
+//
+//	determinism     daxvm/internal/...          (the simulation core)
+//	chargeunits     daxvm/internal/..., cmd/... (anywhere costs flow)
+//	attrbalance     everywhere outside package sim
+//	lockdiscipline  everywhere outside package sim
+//	detmap          everywhere
+//	shadow, nilness, unusedwrite: everywhere
+//
+// Findings print as path:line:col: message [analyzer]. Exit status is 1
+// if any finding was reported, 2 if loading or analysis failed.
+//
+// Suppress a finding with a `//lint:ignore <analyzer> reason` comment on
+// the offending line or the line above; `all` matches every analyzer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"daxvm/tools/simlint/ana"
+	"daxvm/tools/simlint/analyzers/attrbalance"
+	"daxvm/tools/simlint/analyzers/chargeunits"
+	"daxvm/tools/simlint/analyzers/determinism"
+	"daxvm/tools/simlint/analyzers/detmap"
+	"daxvm/tools/simlint/analyzers/lockdiscipline"
+	"daxvm/tools/simlint/stock"
+)
+
+type check struct {
+	analyzer *ana.Analyzer
+	applies  func(pkgPath string) bool
+}
+
+func everywhere(string) bool { return true }
+
+func underAny(prefixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, p := range prefixes {
+			if strings.HasPrefix(path, p) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+var suite = []check{
+	{determinism.Analyzer, underAny("daxvm/internal/")},
+	{chargeunits.Analyzer, underAny("daxvm/internal/", "daxvm/cmd/")},
+	{attrbalance.Analyzer, everywhere},    // skips package sim itself
+	{lockdiscipline.Analyzer, everywhere}, // skips package sim itself
+	{detmap.Analyzer, everywhere},
+	{stock.Shadow, everywhere},
+	{stock.Nilness, everywhere},
+	{stock.UnusedWrite, everywhere},
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	flag.Parse()
+
+	if *list {
+		for _, c := range suite {
+			fmt.Printf("%-16s %s\n", c.analyzer.Name, c.analyzer.Doc)
+		}
+		return
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if !knownAnalyzer(name) {
+				fmt.Fprintf(os.Stderr, "simlint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			selected[name] = true
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := ana.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		file      string
+		line, col int
+		msg       string
+		analyzer  string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, c := range suite {
+			if len(selected) > 0 && !selected[c.analyzer.Name] {
+				continue
+			}
+			if !c.applies(pkg.PkgPath) {
+				continue
+			}
+			diags, err := ana.Run(c.analyzer, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simlint: %s: %s: %v\n", c.analyzer.Name, pkg.PkgPath, err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				findings = append(findings, finding{pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s [%s]\n", f.file, f.line, f.col, f.msg, f.analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func knownAnalyzer(name string) bool {
+	for _, c := range suite {
+		if c.analyzer.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package stock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"daxvm/tools/simlint/ana"
+)
+
+// Nilness flags dereferences of a variable inside the body of an
+// `if x == nil` check: field selection, indexing, unary *, or calling
+// it. Map indexing and reassignment before the use are excluded.
+var Nilness = &ana.Analyzer{
+	Name: "nilness",
+	Doc:  "flag dereference of a variable inside its own x == nil branch",
+	Run:  runNilness,
+}
+
+func runNilness(pass *ana.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			id := nilCheckedVar(pass, ifs.Cond)
+			if id == nil {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if deref := findDeref(pass, ifs.Body, obj); deref.IsValid() {
+				pass.Reportf(deref, "%s is nil on this branch (checked at line %d) and is dereferenced here",
+					id.Name, pass.Fset.Position(ifs.Cond.Pos()).Line)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilCheckedVar matches `x == nil` (either operand order) and returns x.
+func nilCheckedVar(pass *ana.Pass, cond ast.Expr) *ast.Ident {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return nil
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNil(pass, y) {
+		if id, ok := x.(*ast.Ident); ok {
+			return id
+		}
+	}
+	if isNil(pass, x) {
+		if id, ok := y.(*ast.Ident); ok {
+			return id
+		}
+	}
+	return nil
+}
+
+func isNil(pass *ana.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil" && pass.TypesInfo.Uses[id] == types.Universe.Lookup("nil")
+}
+
+// findDeref returns the position of the first dereference of obj in
+// body, stopping at any reassignment of obj.
+func findDeref(pass *ana.Pass, body *ast.BlockStmt, obj types.Object) token.Pos {
+	var found token.Pos
+	reassigned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found.IsValid() || reassigned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					reassigned = true
+				} else if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Defs[id] != nil && id.Name == obj.Name() {
+					reassigned = true
+				}
+			}
+		case *ast.SelectorExpr:
+			// x.f on a pointer receiver dereferences; on an interface or
+			// package it does not.
+			if usesObj(pass, n.X, obj) && isPointer(pass, n.X) {
+				found = n.Pos()
+			}
+		case *ast.StarExpr:
+			if usesObj(pass, n.X, obj) {
+				found = n.Pos()
+			}
+		case *ast.IndexExpr:
+			if usesObj(pass, n.X, obj) && !isMap(pass, n.X) {
+				found = n.Pos()
+			}
+		case *ast.CallExpr:
+			if usesObj(pass, n.Fun, obj) {
+				found = n.Pos()
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func usesObj(pass *ana.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+func isPointer(pass *ana.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	_, isPtr := tv.Type.Underlying().(*types.Pointer)
+	return isPtr
+}
+
+func isMap(pass *ana.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Map)
+	return ok
+}

@@ -1,0 +1,129 @@
+// Package stock carries reduced, stdlib-only reimplementations of three
+// analyzers from golang.org/x/tools (shadow, nilness, unusedwrite). The
+// originals cannot be vendored here — the build environment is offline —
+// so these keep the high-signal core of each check and deliberately drop
+// the SSA-based corner cases.
+package stock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"daxvm/tools/simlint/ana"
+)
+
+// Shadow flags a `:=` declaration that shadows a function-level variable
+// of identical type from an enclosing scope, when the outer variable is
+// read again after the shadowing declaration — the classic `err := ...`
+// inside a block losing the outer err. Shadows of variables that are
+// never touched again, and statement-init declarations
+// (`if err := f(); ...`), are idiomatic and skipped.
+var Shadow = &ana.Analyzer{
+	Name: "shadow",
+	Doc:  "flag := declarations shadowing a live function-level variable of the same type",
+	Run:  runShadow,
+}
+
+func runShadow(pass *ana.Pass) error {
+	for _, f := range pass.Files {
+		inits := initStmts(f)
+		lastUse := useSpans(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || assign.Tok != token.DEFINE || inits[assign] {
+				return true
+			}
+			for _, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+				if !ok || obj == nil {
+					continue
+				}
+				checkShadow(pass, id, obj, lastUse)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// useSpans records the last position each object is mentioned at.
+func useSpans(pass *ana.Pass, f *ast.File) map[types.Object]token.Pos {
+	last := map[types.Object]token.Pos{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && id.End() > last[obj] {
+			last[obj] = id.End()
+		}
+		return true
+	})
+	return last
+}
+
+// initStmts collects the Init assignments of if/for/switch statements:
+// `if err := f(); err != nil` deliberately scopes the variable to the
+// statement, so shadowing there is idiom, not accident.
+func initStmts(f *ast.File) map[*ast.AssignStmt]bool {
+	inits := map[*ast.AssignStmt]bool{}
+	mark := func(s ast.Stmt) {
+		if a, ok := s.(*ast.AssignStmt); ok {
+			inits[a] = true
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			mark(n.Init)
+		case *ast.ForStmt:
+			mark(n.Init)
+		case *ast.SwitchStmt:
+			mark(n.Init)
+		case *ast.TypeSwitchStmt:
+			mark(n.Init)
+		}
+		return true
+	})
+	return inits
+}
+
+func checkShadow(pass *ana.Pass, id *ast.Ident, obj *types.Var, lastUse map[types.Object]token.Pos) {
+	inner := obj.Parent()
+	if inner == nil || inner.Parent() == nil {
+		return
+	}
+	_, outerObj := inner.Parent().LookupParent(id.Name, id.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok {
+		return
+	}
+	if lastUse[outer] <= id.Pos() {
+		// The outer variable is never read after the shadow: nothing can
+		// observe a stale value.
+		return
+	}
+	scope := outer.Parent()
+	if scope == nil || scope == types.Universe || scope == pass.Pkg.Scope() {
+		// Shadowing package-level names is idiomatic; only in-function
+		// shadowing is error-prone enough to flag.
+		return
+	}
+	if !types.Identical(obj.Type(), outer.Type()) {
+		// A different type means the inner name is a deliberate reuse,
+		// not an accidental shadow.
+		return
+	}
+	if scope.End() <= inner.End() {
+		// The outer variable dies with the inner scope; nothing after
+		// can read the stale value.
+		return
+	}
+	pass.Reportf(id.Pos(), "declaration of %q shadows declaration at line %d",
+		id.Name, pass.Fset.Position(outer.Pos()).Line)
+}

@@ -1,0 +1,20 @@
+package stock_test
+
+import (
+	"testing"
+
+	"daxvm/tools/simlint/anatest"
+	"daxvm/tools/simlint/stock"
+)
+
+func TestShadow(t *testing.T) {
+	anatest.Run(t, "testdata", stock.Shadow, "shadow")
+}
+
+func TestNilness(t *testing.T) {
+	anatest.Run(t, "testdata", stock.Nilness, "nilness")
+}
+
+func TestUnusedWrite(t *testing.T) {
+	anatest.Run(t, "testdata", stock.UnusedWrite, "unusedwrite")
+}

@@ -1,0 +1,50 @@
+// Package nilness exercises the stock nilness analyzer.
+package nilness
+
+type node struct {
+	next *node
+	val  int
+}
+
+func derefInNilBranch(n *node) int {
+	if n == nil {
+		return n.val // want `n is nil on this branch \(checked at line 10\) and is dereferenced here`
+	}
+	return n.val
+}
+
+func callNilFunc(f func() int) int {
+	if f == nil {
+		return f() // want `f is nil on this branch \(checked at line 17\) and is dereferenced here`
+	}
+	return f()
+}
+
+func indexNilSlice(s []int) int {
+	if s == nil {
+		return s[0] // want `s is nil on this branch \(checked at line 24\) and is dereferenced here`
+	}
+	return s[0]
+}
+
+func reassignedFirst(n *node) int {
+	if n == nil {
+		n = &node{val: 1}
+		return n.val // fine: n was reassigned before the dereference
+	}
+	return n.val
+}
+
+func mapIndexOK(m map[string]int) int {
+	if m == nil {
+		return m["a"] // indexing a nil map reads the zero value, legal
+	}
+	return m["a"]
+}
+
+func guardedProperly(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.val
+}

@@ -1,0 +1,40 @@
+// Package shadow exercises the stock shadow analyzer.
+package shadow
+
+import "errors"
+
+func shadowedErr(fail bool) error {
+	err := errors.New("outer")
+	if fail {
+		err := errors.New("inner") // want `declaration of "err" shadows declaration at line 7`
+		_ = err
+	}
+	return err
+}
+
+func differentType() error {
+	err := errors.New("outer")
+	{
+		err := "not an error" // different type: deliberate reuse, not flagged
+		_ = err
+	}
+	return err
+}
+
+func shadowedCount(rows [][]int) int {
+	n := 0
+	for _, r := range rows {
+		n := len(r) // want `declaration of "n" shadows declaration at line 25`
+		_ = n
+	}
+	return n
+}
+
+func freshName() error {
+	err := errors.New("outer")
+	if err != nil {
+		inner := errors.New("inner")
+		_ = inner
+	}
+	return err
+}

@@ -1,0 +1,35 @@
+// Package unusedwrite exercises the stock unusedwrite analyzer.
+package unusedwrite
+
+type point struct{ x, y int }
+
+func droppedWrite(px, py int) int {
+	var p point
+	p.x = px
+	sum := px + py
+	p.y = sum // want `unused write to field p\.y: p is never used afterwards`
+	return sum
+}
+
+func returnedValue(px int) point {
+	var p point
+	p.x = px
+	return p
+}
+
+func addressTaken(px int) *point {
+	var p point
+	q := &p
+	p.x = px
+	return q
+}
+
+func pointerParam(p *point, px int) {
+	p.x = px // writes through a pointer escape to the caller; not flagged
+}
+
+func readBack(px int) int {
+	var p point
+	p.x = px
+	return p.x
+}

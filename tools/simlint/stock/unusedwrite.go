@@ -1,0 +1,156 @@
+package stock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"daxvm/tools/simlint/ana"
+)
+
+// UnusedWrite flags a write to a field of a local, non-pointer struct
+// variable when the variable is never mentioned again in the function —
+// the value (and the write) is dropped on the floor. Functions with
+// closures, address-taken variables, or writes inside loops are skipped
+// rather than analyzed imprecisely.
+var UnusedWrite = &ana.Analyzer{
+	Name: "unusedwrite",
+	Doc:  "flag struct field writes whose variable is never used afterwards",
+	Run:  runUnusedWrite,
+}
+
+func runUnusedWrite(pass *ana.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkWrites(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkWrites(pass *ana.Pass, fd *ast.FuncDecl) {
+	if hasClosures(fd.Body) {
+		return
+	}
+	type write struct {
+		assign *ast.AssignStmt
+		id     *ast.Ident
+		obj    types.Object
+	}
+	var writes []write
+	addrTaken := map[types.Object]bool{}
+	lastUse := map[types.Object]token.Pos{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := rootIdent(n.X); ok {
+					addrTaken[pass.TypesInfo.Uses[id]] = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				if p := n.End(); p > lastUse[obj] {
+					lastUse[obj] = p
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN || len(n.Lhs) != 1 {
+				return true
+			}
+			sel, ok := n.Lhs[0].(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || obj == nil || !isLocalStruct(fd, obj) {
+				return true
+			}
+			if insideLoop(fd.Body, n.Pos()) {
+				return true
+			}
+			writes = append(writes, write{n, id, obj})
+		}
+		return true
+	})
+
+	for _, w := range writes {
+		if addrTaken[w.obj] {
+			continue
+		}
+		// Any mention of the variable after the write (including its own
+		// RHS evaluation, which ends before the statement does) keeps it.
+		if lastUse[w.obj] > w.assign.End() {
+			continue
+		}
+		pass.Reportf(w.assign.Pos(), "unused write to field %s: %s is never used afterwards",
+			types.ExprString(w.assign.Lhs[0]), w.id.Name)
+	}
+}
+
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// isLocalStruct reports whether obj is a non-pointer struct variable
+// declared inside fd (not a parameter or result).
+func isLocalStruct(fd *ast.FuncDecl, obj *types.Var) bool {
+	if _, ok := obj.Type().Underlying().(*types.Struct); !ok {
+		return false
+	}
+	if obj.Pos() < fd.Body.Pos() || obj.Pos() > fd.Body.End() {
+		return false
+	}
+	return true
+}
+
+func hasClosures(body *ast.BlockStmt) bool {
+	has := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			has = true
+			return false
+		}
+		return true
+	})
+	return has
+}
+
+// insideLoop reports whether pos falls inside any for/range statement
+// within body.
+func insideLoop(body *ast.BlockStmt, pos token.Pos) bool {
+	inside := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Body.Pos() <= pos && pos < n.Body.End() {
+				inside = true
+			}
+		case *ast.RangeStmt:
+			if n.Body.Pos() <= pos && pos < n.Body.End() {
+				inside = true
+			}
+		}
+		return !inside
+	})
+	return inside
+}

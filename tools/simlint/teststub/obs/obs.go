@@ -1,0 +1,25 @@
+// Package obs is a no-op mirror of daxvm/internal/obs's trace surface
+// for analyzer fixtures (see teststub/sim).
+package obs
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Tracer mirrors obs.Tracer's emit surface.
+type Tracer struct{}
+
+func (tr *Tracer) Emit(typ string, core int, ts, dur uint64, tag string, arg uint64) {
+	_, _, _, _, _, _ = typ, core, ts, dur, tag, arg
+}
+
+// SortedKeys mirrors the deterministic-iteration helper.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
