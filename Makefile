@@ -8,7 +8,7 @@ ci: fmt vet lint build test race smoke perf-gate
 
 # Experiments the perf gate runs: cheap, deterministic, and together they
 # exercise the journal, allocator, file tables and mapped-access paths.
-GATE_IDS = storage ftcost
+GATE_IDS = storage ftcost numa
 
 build:
 	$(GO) build ./...

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"daxvm/internal/bench"
@@ -41,6 +42,8 @@ func main() {
 	metricsDir := flag.String("metrics-out", "", "write a BENCH_<id>.json artifact per experiment into this directory")
 	profilePath := flag.String("profile-out", "", "write the run's cycle profile as folded stacks to this file")
 	compare := flag.Bool("compare", false, "compare two artifacts: daxbench -compare old.json new.json")
+	nodes := flag.Int("nodes", 0, "NUMA node count for topology-aware experiments (0 = experiment default)")
+	placement := flag.String("placement", "", "placement policy for topology-aware experiments: local|remote|interleave")
 	flag.Parse()
 	// Accept flags after the command too (flag stops at positionals).
 	args := make([]string, 0, flag.NArg())
@@ -54,7 +57,8 @@ func main() {
 			*verbose = true
 		case "-compare", "--compare":
 			*compare = true
-		case "-trace", "--trace", "-metrics-out", "--metrics-out", "-profile-out", "--profile-out":
+		case "-trace", "--trace", "-metrics-out", "--metrics-out", "-profile-out", "--profile-out",
+			"-nodes", "--nodes", "-placement", "--placement":
 			if i+1 >= len(rest) {
 				fmt.Fprintf(os.Stderr, "%s needs a value\n", a)
 				os.Exit(2)
@@ -65,6 +69,15 @@ func main() {
 				*tracePath = rest[i]
 			case "-metrics-out", "--metrics-out":
 				*metricsDir = rest[i]
+			case "-nodes", "--nodes":
+				n, err := strconv.Atoi(rest[i])
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "-nodes: %q is not an integer\n", rest[i])
+					os.Exit(2)
+				}
+				*nodes = n
+			case "-placement", "--placement":
+				*placement = rest[i]
 			default:
 				*profilePath = rest[i]
 			}
@@ -84,7 +97,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := bench.Options{Quick: *quick}
+	if *nodes < 0 {
+		fmt.Fprintf(os.Stderr, "-nodes must be >= 1 (got %d)\n", *nodes)
+		os.Exit(2)
+	}
+	if *placement != "" && !bench.NumaSupportedPlacement(*placement) {
+		fmt.Fprintf(os.Stderr, "-placement %q not supported; use local, remote or interleave\n", *placement)
+		os.Exit(2)
+	}
+	opts := bench.Options{Quick: *quick, Nodes: *nodes, Placement: *placement}
 	if *verbose {
 		opts.Log = os.Stderr
 	}
@@ -101,6 +122,7 @@ func main() {
 		return
 	case "all":
 		for _, e := range bench.All() {
+			checkTopo(e, opts)
 			r.runOne(e)
 		}
 	default:
@@ -110,6 +132,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q; try 'daxbench list'\n", id)
 				os.Exit(2)
 			}
+			checkTopo(e, opts)
 			r.runOne(e)
 		}
 	}
@@ -129,6 +152,15 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[profile: %d cycles attributed -> %s (folded stacks)]\n",
 			opts.Obs.Cycles.Total(), *profilePath)
+	}
+}
+
+// checkTopo rejects topology overrides on experiments that model the
+// paper's flat single-socket machine.
+func checkTopo(e bench.Experiment, o bench.Options) {
+	if (o.Nodes != 0 || o.Placement != "") && !e.Topo {
+		fmt.Fprintf(os.Stderr, "experiment %q does not accept -nodes/-placement (only topology-aware experiments such as \"numa\" do)\n", e.ID)
+		os.Exit(2)
 	}
 }
 
@@ -202,7 +234,7 @@ func (r *runner) runOne(e bench.Experiment) {
 		snap = &s
 	}
 	path := filepath.Join(r.metricsDir, "BENCH_"+e.ID+".json")
-	if err := writeArtifact(bench.NewArtifact(res, r.opts.Quick, snap, cycleDelta), path); err != nil {
+	if err := writeArtifact(bench.NewArtifact(res, r.opts, snap, cycleDelta), path); err != nil {
 		fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
 		os.Exit(1)
 	}
@@ -263,6 +295,6 @@ func usage() {
 usage:
   daxbench list
   daxbench all [-quick] [-v] [-trace out.json] [-metrics-out dir] [-profile-out out.folded]
-  daxbench <id> [<id>...] [-quick] [-v] [-trace out.json] [-metrics-out dir] [-profile-out out.folded]
+  daxbench <id> [<id>...] [-quick] [-v] [-nodes n] [-placement p] [-trace out.json] [-metrics-out dir] [-profile-out out.folded]
   daxbench -compare old.json new.json`)
 }

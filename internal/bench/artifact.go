@@ -38,8 +38,10 @@ type Artifact struct {
 }
 
 // NewArtifact packages a result (and optionally the post-run registry
-// snapshot and cycle breakdown) for serialization.
-func NewArtifact(r *Result, quick bool, snap *obs.Snapshot, cycles *obs.CycleSnapshot) *Artifact {
+// snapshot and cycle breakdown) for serialization. The options' topology
+// overrides feed the config hash, so -compare refuses cross-topology
+// diffs.
+func NewArtifact(r *Result, o Options, snap *obs.Snapshot, cycles *obs.CycleSnapshot) *Artifact {
 	m := r.Metrics
 	if m == nil {
 		m = map[string]float64{}
@@ -48,9 +50,9 @@ func NewArtifact(r *Result, quick bool, snap *obs.Snapshot, cycles *obs.CycleSna
 		Schema:         ArtifactSchema,
 		ID:             r.ID,
 		Title:          r.Title,
-		Quick:          quick,
+		Quick:          o.Quick,
 		GitSHA:         gitSHA(),
-		ConfigHash:     configHash(r.ID, quick),
+		ConfigHash:     configHash(r.ID, o.Quick, o.Nodes, o.Placement),
 		Metrics:        m,
 		Notes:          r.Notes,
 		Snapshot:       snap,
@@ -77,11 +79,19 @@ func gitSHA() string {
 
 // configHash fingerprints the run configuration that determines an
 // artifact's numbers. Comparing artifacts with different hashes is
-// meaningless (quick vs full working sets, different experiments), so
-// the comparator refuses them.
-func configHash(id string, quick bool) string {
+// meaningless (quick vs full working sets, different experiments,
+// different machine topologies), so the comparator refuses them.
+// Topology overrides extend the pre-NUMA hash input only when
+// non-default, keeping historical single-node hashes stable.
+func configHash(id string, quick bool, nodes int, placement string) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|quick=%v", id, quick)
+	if nodes > 1 {
+		fmt.Fprintf(h, "|nodes=%d", nodes)
+	}
+	if placement != "" {
+		fmt.Fprintf(h, "|placement=%s", placement)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

@@ -23,7 +23,7 @@ func TestArtifactSmoke(t *testing.T) {
 
 	snap := o.Reg.Snapshot()
 	cycles := o.Cycles.Snapshot()
-	a := NewArtifact(r, true, &snap, &cycles)
+	a := NewArtifact(r, Options{Quick: true}, &snap, &cycles)
 	var buf bytes.Buffer
 	if err := a.WriteArtifact(&buf); err != nil {
 		t.Fatal(err)

@@ -23,6 +23,12 @@ type Options struct {
 	// counters and histograms reflect the most recent boot, the trace
 	// ring accumulates across boots.
 	Obs *obs.Obs
+	// Nodes overrides the NUMA node count for topology-aware experiments
+	// (0 = experiment default). Only experiments with Topo=true accept it.
+	Nodes int
+	// Placement overrides the default placement policy ("local",
+	// "interleave", "bind:<n>"). Only Topo=true experiments accept it.
+	Placement string
 }
 
 func (o Options) logf(format string, args ...any) {
@@ -67,12 +73,21 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(o Options) *Result
+	// Topo marks experiments that accept topology overrides
+	// (Options.Nodes / Options.Placement).
+	Topo bool
 }
 
 var registry []Experiment
 
 func register(id, title string, run func(o Options) *Result) {
 	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// registerTopo registers an experiment that understands topology
+// overrides (daxbench validates -nodes/-placement against this flag).
+func registerTopo(id, title string, run func(o Options) *Result) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run, Topo: true})
 }
 
 // All returns the registered experiments in registration order.

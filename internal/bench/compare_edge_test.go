@@ -63,7 +63,7 @@ func TestCompareLowerBetterID(t *testing.T) {
 	asStorage := func(extra func(a *Artifact)) []byte {
 		return mkArtifact(t, func(a *Artifact) {
 			a.ID = "storage"
-			a.ConfigHash = configHash("storage", true)
+			a.ConfigHash = configHash("storage", true, 0, "")
 			if extra != nil {
 				extra(a)
 			}

@@ -17,7 +17,7 @@ func mkArtifact(t *testing.T, mutate func(a *Artifact)) []byte {
 		Title:      "File-table maintenance overhead on appends",
 		Quick:      true,
 		GitSHA:     "baseline-sha",
-		ConfigHash: configHash("ftcost", true),
+		ConfigHash: configHash("ftcost", true, 0, ""),
 		Metrics: map[string]float64{
 			"overhead-pct/4.0M": 3.2,
 			"64K/daxvm":         1_500_000,
@@ -124,8 +124,8 @@ func TestCompareRefusesCrossConfig(t *testing.T) {
 		name   string
 		mutate func(a *Artifact)
 	}{
-		{"quick-vs-full", func(a *Artifact) { a.Quick = false; a.ConfigHash = configHash(a.ID, false) }},
-		{"different-experiment", func(a *Artifact) { a.ID = "storage"; a.ConfigHash = configHash("storage", true) }},
+		{"quick-vs-full", func(a *Artifact) { a.Quick = false; a.ConfigHash = configHash(a.ID, false, 0, "") }},
+		{"different-experiment", func(a *Artifact) { a.ID = "storage"; a.ConfigHash = configHash("storage", true, 0, "") }},
 		{"config-hash-drift", func(a *Artifact) { a.ConfigHash = "deadbeefdeadbeef" }},
 	}
 	for _, c := range cases {

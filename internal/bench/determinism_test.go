@@ -24,7 +24,7 @@ func TestRunDeterminism(t *testing.T) {
 		res := e.Run(Options{Quick: true, Obs: o})
 		snap := o.Reg.Snapshot()
 		cycles := o.Cycles.Snapshot()
-		art := NewArtifact(res, true, &snap, &cycles)
+		art := NewArtifact(res, Options{Quick: true}, &snap, &cycles)
 		// Pin provenance: the invariant under test is the payload, and
 		// the env-sensitive git SHA would make the assertion flaky in CI.
 		art.GitSHA = "test"

@@ -1,0 +1,25 @@
+package bench
+
+import "testing"
+
+// TestNumaPlacementShape asserts the topology model's headline claim:
+// from node 0, local PMem bandwidth strictly beats interleaved, which
+// strictly beats remote, on both the read(2) and paging paths.
+func TestNumaPlacementShape(t *testing.T) {
+	e, ok := ByID("numa")
+	if !ok {
+		t.Fatal("numa not registered")
+	}
+	res := e.Run(Options{Quick: true})
+	for _, path := range []string{"read", "paging"} {
+		local := res.Metrics[path+"/local"]
+		ileave := res.Metrics[path+"/interleave"]
+		remote := res.Metrics[path+"/remote"]
+		if local == 0 || ileave == 0 || remote == 0 {
+			t.Fatalf("%s: missing metrics: local=%v interleave=%v remote=%v", path, local, ileave, remote)
+		}
+		if !(local > ileave && ileave > remote) {
+			t.Errorf("%s: want local > interleave > remote, got %.1f / %.1f / %.1f", path, local, ileave, remote)
+		}
+	}
+}

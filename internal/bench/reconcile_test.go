@@ -12,7 +12,7 @@ import (
 // booked. Idle and lock-wait time advance thread clocks without Charge
 // calls, so both sides of the comparison exclude them by construction.
 func TestCycleReconciliation(t *testing.T) {
-	for _, id := range []string{"storage", "ftcost"} {
+	for _, id := range []string{"storage", "ftcost", "numa"} {
 		t.Run(id, func(t *testing.T) {
 			e, ok := ByID(id)
 			if !ok {

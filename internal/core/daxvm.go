@@ -15,6 +15,7 @@ import (
 	"daxvm/internal/pt"
 	"daxvm/internal/radix"
 	"daxvm/internal/sim"
+	"daxvm/internal/topo"
 )
 
 // Flags are the daxvm_mmap flags (paper §IV-F).
@@ -104,6 +105,11 @@ type DaxVM struct {
 	prezero *Prezeroer
 	procs   []*Proc
 
+	// placement chooses the node for volatile file-table nodes and
+	// monitor-migrated DRAM shadows; ileave is its interleave cursor.
+	placement topo.Policy
+	ileave    uint64
+
 	// Trace receives DaxVM events (attach/detach, zombie flushes, daemon
 	// batches, monitor migrations); nil = disabled.
 	Trace *obs.Tracer
@@ -126,6 +132,18 @@ func New(cfg Config, dev *pmem.Device, pool *dram.Pool, cpus *cpu.Set, metaAlloc
 
 // Config returns the effective configuration.
 func (d *DaxVM) Config() Config { return d.cfg }
+
+// SetPlacement selects where DaxVM's DRAM-resident table nodes go.
+func (d *DaxVM) SetPlacement(p topo.Policy) { d.placement = p }
+
+// pickNode applies the placement policy for a DRAM table allocation
+// requested by t. Always node 0 on flat machines.
+func (d *DaxVM) pickNode(t *sim.Thread) mem.NodeID {
+	if d.cpus == nil || !d.cpus.Topo.Multi() {
+		return 0
+	}
+	return d.placement.Pick(d.cpus.Topo, d.cpus.Topo.NodeOfCore(t.Core), &d.ileave)
+}
 
 // Hooks builds the vfs.Hooks wiring DaxVM into a file system. Pass
 // prezero=true to intercept freed blocks for background zeroing.
@@ -229,7 +247,7 @@ func (d *DaxVM) upgrade(t *sim.Thread, in *vfs.Inode, ft *FileTable) {
 	ft.Persistent = true
 	for ci := range ft.chunks {
 		c := &ft.chunks[ci]
-		if c.node == nil || c.node.Medium == mem.PMem {
+		if c.node == nil || c.node.Loc.Medium == mem.PMem {
 			continue
 		}
 		old := c.node
@@ -242,8 +260,9 @@ func (d *DaxVM) upgrade(t *sim.Thread, in *vfs.Inode, ft *FileTable) {
 		n.FlushEntries(t, 0, mem.PTEsPerTable)
 		c.node = n
 		c.nodeBlock = blk
-		if d.dram != nil {
-			d.dram.FreeFrame(t, 0)
+		if d.dram != nil && old.Frame != pt.NoFrame {
+			d.dram.FreeFrame(t, old.Frame)
+			old.Frame = pt.NoFrame
 		}
 		d.Stats.DRAMTableBytes -= mem.PageSize
 	}

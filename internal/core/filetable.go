@@ -80,7 +80,7 @@ func (ft *FileTable) StorageBytes() uint64 {
 	}
 	n := uint64(mem.PageSize) // descriptor
 	for i := range ft.chunks {
-		if ft.chunks[i].node != nil && ft.chunks[i].node.Medium == mem.PMem {
+		if ft.chunks[i].node != nil && ft.chunks[i].node.Loc.Medium == mem.PMem {
 			n += mem.PageSize
 		}
 	}
@@ -94,16 +94,18 @@ func (ft *FileTable) DRAMBytes() uint64 {
 		c := &ft.chunks[i]
 		if c.volatileNode != nil {
 			n += mem.PageSize
-		} else if c.node != nil && c.node.Medium == mem.DRAM {
+		} else if c.node != nil && c.node.Loc.Medium == mem.DRAM {
 			n += mem.PageSize
 		}
 	}
 	return n
 }
 
-// newNode allocates one file-table node in the right medium.
+// newNode allocates one file-table node in the right medium: persistent
+// nodes live on the PMem node owning their backing block; volatile nodes
+// follow the mount's placement policy.
 func (ft *FileTable) newNode(t *sim.Thread, persistent bool) (*pt.Node, uint64) {
-	n := pt.NewNode(pt.LevelPTE, mem.DRAM)
+	n := pt.NewNode(pt.LevelPTE, mem.Loc{Medium: mem.DRAM})
 	n.Shared = true
 	n.NoAD = true // DaxVM drops A/D maintenance in file tables
 	var blockAddr uint64
@@ -113,13 +115,15 @@ func (ft *FileTable) newNode(t *sim.Thread, persistent bool) (*pt.Node, uint64) 
 			panic("daxvm: out of PMem for file tables")
 		}
 		blockAddr = runs[0].Start
-		n.Medium = mem.PMem
-		n.Backing = ft.d.dev
 		n.BackAddr = mem.PhysAddr(blockAddr * mem.PageSize)
+		n.Loc = mem.Loc{Medium: mem.PMem, Node: ft.d.dev.NodeOf(n.BackAddr)}
+		n.Backing = ft.d.dev
 		ft.d.Stats.PMemTableBytes += mem.PageSize
 	} else {
 		if ft.d.dram != nil {
-			ft.d.dram.AllocFrame(t)
+			node := ft.d.pickNode(t)
+			n.Frame = ft.d.dram.AllocFrameOn(t, node)
+			n.Loc.Node = node
 		} else {
 			t.Charge(cost.TableAlloc)
 		}
@@ -218,18 +222,20 @@ func (ft *FileTable) promoteHugeChunks(t *sim.Thread) {
 
 // releaseNode frees a chunk's node(s) after huge promotion.
 func (ft *FileTable) releaseNode(t *sim.Thread, c *chunk) {
-	if c.node != nil && c.node.Medium == mem.PMem {
+	if c.node != nil && c.node.Loc.Medium == mem.PMem {
 		ft.d.metaAlloc.Free(t, []alloc.Run{{Start: c.nodeBlock, Len: 1}})
 		ft.d.Stats.PMemTableBytes -= mem.PageSize
 	} else if c.node != nil {
-		if ft.d.dram != nil {
-			ft.d.dram.FreeFrame(t, 0)
+		if ft.d.dram != nil && c.node.Frame != pt.NoFrame {
+			ft.d.dram.FreeFrame(t, c.node.Frame)
+			c.node.Frame = pt.NoFrame
 		}
 		ft.d.Stats.DRAMTableBytes -= mem.PageSize
 	}
 	if c.volatileNode != nil && c.volatileNode != c.node {
-		if ft.d.dram != nil {
-			ft.d.dram.FreeFrame(t, 0)
+		if ft.d.dram != nil && c.volatileNode.Frame != pt.NoFrame {
+			ft.d.dram.FreeFrame(t, c.volatileNode.Frame)
+			c.volatileNode.Frame = pt.NoFrame
 		}
 		ft.d.Stats.DRAMTableBytes -= mem.PageSize
 	}
@@ -374,11 +380,12 @@ func RecoverFileTable(t *sim.Thread, d *DaxVM, ino vfs.Ino, descBlock uint64) (*
 			c.hugePFN = mem.PFN(v &^ descHugeBit)
 			c.pages = alloc.BlocksPerHuge
 		} else {
-			n := pt.NewNode(pt.LevelPTE, mem.PMem)
+			backAddr := mem.PhysAddr(v * mem.PageSize)
+			n := pt.NewNode(pt.LevelPTE, mem.Loc{Medium: mem.PMem, Node: dev.NodeOf(backAddr)})
 			n.Shared = true
 			n.NoAD = true
 			n.Backing = dev
-			n.BackAddr = mem.PhysAddr(v * mem.PageSize)
+			n.BackAddr = backAddr
 			raw := dev.Bytes(n.BackAddr, mem.PageSize)
 			for idx := 0; idx < mem.PTEsPerTable; idx++ {
 				e := pt.Entry(getLE(raw[idx*8:]))

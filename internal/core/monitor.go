@@ -100,10 +100,11 @@ func (m *Monitor) migrate(t *sim.Thread) {
 		anyChunk := false
 		for ci := range ft.chunks {
 			c := &ft.chunks[ci]
-			if c.node == nil || c.node.Medium != mem.PMem || c.volatileNode != nil {
+			if c.node == nil || c.node.Loc.Medium != mem.PMem || c.volatileNode != nil {
 				continue
 			}
-			shadow := pt.NewNode(pt.LevelPTE, mem.DRAM)
+			node := d.pickNode(t)
+			shadow := pt.NewNode(pt.LevelPTE, mem.Loc{Medium: mem.DRAM, Node: node})
 			shadow.Shared = true
 			shadow.NoAD = true
 			for i := 0; i < mem.PTEsPerTable; i++ {
@@ -114,7 +115,7 @@ func (m *Monitor) migrate(t *sim.Thread) {
 			// Copy cost: streaming read of one PMem page + DRAM stores.
 			t.ChargeAs("table_copy", cost.CopyFromPMemPerPage)
 			if d.dram != nil {
-				d.dram.AllocFrame(t)
+				shadow.Frame = d.dram.AllocFrameOn(t, node)
 			}
 			d.Stats.DRAMTableBytes += mem.PageSize
 			c.volatileNode = shadow

@@ -281,6 +281,41 @@ const (
 	FileTablePTEFlushPerLine = ClwbCost
 )
 
+// Cross-socket (remote NUMA node) penalties. [fast20 §3.2] A remote
+// Optane access crosses UPI before reaching the DIMM: read latency grows
+// by ~170 ns and remote sequential-read bandwidth drops to roughly half
+// of local; remote nt-store bandwidth collapses much harder (to ~1/3 of
+// local, the paper's headline "remote Optane cliff"), because write
+// buffering across the interconnect defeats the DIMM's combining buffer.
+// DRAM pays the usual ~60-70 ns UPI hop. The per-page rates below are
+// the extra cycles added on top of the local-rate charge for a 4 KiB
+// page moved across sockets; the walk extras are the added leaf-fetch
+// latency for one remote page-table access.
+const (
+	// RemotePMemReadExtraPerPage: local read ~6.5 GB/s vs remote
+	// ~3.5 GB/s => ~+2.3 GB/s-equivalent extra cycles per page.
+	RemotePMemReadExtraPerPage = 2_500
+
+	// RemotePMemWriteExtraPerPage: local nt-store ~2.3 GB/s vs remote
+	// ~0.8 GB/s; also applied to remote zeroing.
+	RemotePMemWriteExtraPerPage = 9_600
+
+	// RemoteDRAMExtraPerPage: UPI hop on a streamed DRAM page
+	// (~11 GB/s local vs ~8 GB/s remote).
+	RemoteDRAMExtraPerPage = 650
+
+	// RemotePMemWalkExtra: one remote Optane leaf-PTE fetch pays the
+	// UPI round trip on top of the media latency (~170 ns).
+	RemotePMemWalkExtra = 460
+
+	// RemoteDRAMWalkExtra: one remote DRAM leaf-PTE fetch (~65 ns hop).
+	RemoteDRAMWalkExtra = 170
+
+	// IPICrossSocketPerTarget: extra initiator wait per shootdown target
+	// on the other socket (interrupt delivery crosses UPI both ways).
+	IPICrossSocketPerTarget = 900
+)
+
 // Device-wide bandwidth budget, in bytes per cycle, used by the token
 // bucket that makes heavy writers (pre-zeroing daemon) interfere with
 // foreground traffic. [fast20] whole-device: write ~13 GB/s, read ~37 GB/s

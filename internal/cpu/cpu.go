@@ -11,6 +11,7 @@ import (
 	"daxvm/internal/pt"
 	"daxvm/internal/sim"
 	"daxvm/internal/tlb"
+	"daxvm/internal/topo"
 )
 
 // pteLineCacheSize is how many distinct PTE cache lines a core keeps warm;
@@ -21,11 +22,14 @@ const pteLineCacheSize = 192
 type Set struct {
 	Cores []*Core
 
+	// Topo is the machine's NUMA layout (nil = flat single-node).
+	Topo *topo.Topology
+
 	// Trace receives TLB-shootdown events (nil = disabled).
 	Trace *obs.Tracer
 }
 
-// NewSet creates n cores.
+// NewSet creates n cores on a flat single-node machine.
 func NewSet(n int) *Set {
 	s := &Set{Cores: make([]*Core, n)}
 	for i := range s.Cores {
@@ -38,10 +42,25 @@ func NewSet(n int) *Set {
 	return s
 }
 
+// SetTopology assigns each core its home NUMA node. Walk and shootdown
+// costs become distance-sensitive once the topology spans >1 node.
+func (s *Set) SetTopology(tp *topo.Topology) {
+	s.Topo = tp
+	for _, c := range s.Cores {
+		c.Node = tp.NodeOfCore(c.ID)
+		c.multiNode = tp.Multi()
+	}
+}
+
 // Core is one hardware thread.
 type Core struct {
 	ID  int
 	TLB *tlb.TLB
+
+	// Node is the core's home NUMA node; multiNode is true when the
+	// machine spans more than one (so remote surcharges can apply).
+	Node      mem.NodeID
+	multiNode bool
 
 	// bound is the sim thread currently executing on this core (IPI
 	// targets are charged through it).
@@ -180,15 +199,25 @@ func (c *Core) walkCost(as *pt.AddressSpace, va mem.VirtAddr, level int, ok bool
 		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM, "pte_cached_dram"
 	}
 	hot := c.touchPTELine(leaf, idx/mem.PTEsPerCacheLine)
-	if leaf.Medium == mem.PMem {
+	// The leaf fetch reaches across the interconnect when the table node
+	// lives on another socket's DIMMs; the cached cases stay cheap (the
+	// line is already in this core's cache hierarchy).
+	remote := c.multiNode && leaf.Loc.Node != c.Node
+	if leaf.Loc.Medium == mem.PMem {
 		c.Stats.PMemWalks++
 		if hot {
 			return cost.WalkUpperLevels + cost.WalkPTECachedPMem, "pte_cached_pmem"
+		}
+		if remote {
+			return cost.WalkUpperLevels + cost.WalkPTEMissPMem + cost.RemotePMemWalkExtra, "pte_miss_pmem_remote"
 		}
 		return cost.WalkUpperLevels + cost.WalkPTEMissPMem, "pte_miss_pmem"
 	}
 	if hot {
 		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM, "pte_cached_dram"
+	}
+	if remote {
+		return cost.WalkUpperLevels + cost.WalkPTEMissDRAM + cost.RemoteDRAMWalkExtra, "pte_miss_dram_remote"
 	}
 	return cost.WalkUpperLevels + cost.WalkPTEMissDRAM, "pte_miss_dram"
 }
@@ -285,6 +314,19 @@ func (s *Set) Shootdown(t *sim.Thread, initiator *Core, targets []*Core, kind Sh
 	}
 	initiator.Stats.IPIsSent++
 	t.ChargeAs("ipi_send", cost.IPIBase+cost.IPIPerTarget*uint64(len(targets)))
+	if initiator.multiNode {
+		// Cross-socket IPIs pay the interconnect round trip per
+		// other-node target (delivery + acknowledgement cross UPI).
+		crossSocket := uint64(0)
+		for _, tc := range targets {
+			if tc != initiator && tc.Node != initiator.Node {
+				crossSocket++
+			}
+		}
+		if crossSocket > 0 {
+			t.ChargeAs("ipi_send", cost.IPICrossSocketPerTarget*crossSocket)
+		}
+	}
 	remote := 0
 	for _, tc := range targets {
 		if tc == initiator {

@@ -11,7 +11,7 @@ import (
 
 func newAS() *pt.AddressSpace {
 	return pt.NewAddressSpace(
-		func(_ *sim.Thread, level int) *pt.Node { return pt.NewNode(level, mem.DRAM) },
+		func(_ *sim.Thread, level int) *pt.Node { return pt.NewNode(level, mem.Loc{Medium: mem.DRAM}) },
 		nil,
 	)
 }
@@ -101,7 +101,7 @@ func TestWalkCostSeqVsRandAndMedium(t *testing.T) {
 		s := NewSet(1)
 		c := s.Cores[0]
 		as := pt.NewAddressSpace(
-			func(_ *sim.Thread, level int) *pt.Node { return pt.NewNode(level, cf.medium) },
+			func(_ *sim.Thread, level int) *pt.Node { return pt.NewNode(level, mem.Loc{Medium: cf.medium}) },
 			nil,
 		)
 		run(func(th *sim.Thread) {

@@ -1,0 +1,101 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+
+	"daxvm/internal/mem"
+	"daxvm/internal/sim"
+	"daxvm/internal/topo"
+)
+
+func run(t *testing.T, fn func(th *sim.Thread)) {
+	t.Helper()
+	e := sim.New()
+	e.Go("test", 0, 0, fn)
+	e.Run()
+}
+
+func wantPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	p := New(16 * mem.PageSize)
+	run(t, func(th *sim.Thread) {
+		a := p.AllocFrame(th)
+		b := p.AllocFrame(th)
+		if a == b {
+			t.Errorf("distinct allocations returned the same PFN %d", a)
+		}
+		p.FreeFrame(th, a)
+		if got := p.AllocFrame(th); got != a {
+			t.Errorf("free list not LIFO: got %d, want %d", got, a)
+		}
+		if p.Used() != 2*mem.PageSize || p.Stats.Allocs != 3 || p.Stats.Frees != 1 {
+			t.Errorf("accounting wrong: used=%d allocs=%d frees=%d", p.Used(), p.Stats.Allocs, p.Stats.Frees)
+		}
+	})
+}
+
+func TestFreeFrameDoubleFree(t *testing.T) {
+	p := New(16 * mem.PageSize)
+	run(t, func(th *sim.Thread) {
+		a := p.AllocFrame(th)
+		p.AllocFrame(th) // keep used high enough to pass the underflow check
+		p.FreeFrame(th, a)
+		wantPanic(t, "double free of PFN", func() { p.FreeFrame(th, a) })
+	})
+}
+
+func TestFreeFrameNeverAllocated(t *testing.T) {
+	p := New(16 * mem.PageSize)
+	run(t, func(th *sim.Thread) {
+		p.AllocFrame(th)
+		wantPanic(t, "never-allocated PFN", func() { p.FreeFrame(th, mem.PFN(7)) })
+	})
+}
+
+func TestFreeFrameUnderflow(t *testing.T) {
+	p := New(16 * mem.PageSize)
+	run(t, func(th *sim.Thread) {
+		wantPanic(t, "free underflow", func() { p.FreeFrame(th, 0) })
+	})
+}
+
+func TestNUMABanksAndFallback(t *testing.T) {
+	tp := topo.New(2, 1)
+	p := NewNUMA(4*mem.PageSize, tp) // 2 frames per bank
+	run(t, func(th *sim.Thread) {
+		a := p.AllocFrameOn(th, 1)
+		if p.NodeOfFrame(a) != 1 {
+			t.Errorf("AllocFrameOn(1) returned PFN %d on node %d", a, p.NodeOfFrame(a))
+		}
+		if p.UsedOn(1) != mem.PageSize || p.UsedOn(0) != 0 {
+			t.Errorf("per-node accounting wrong: node0=%d node1=%d", p.UsedOn(0), p.UsedOn(1))
+		}
+		// Exhaust node 1; the next preferred-node-1 allocation must fall
+		// back to node 0 rather than fail.
+		p.AllocFrameOn(th, 1)
+		c := p.AllocFrameOn(th, 1)
+		if p.NodeOfFrame(c) != 0 {
+			t.Errorf("fallback allocation landed on node %d, want 0", p.NodeOfFrame(c))
+		}
+		// A freed frame returns to its home bank, not the freeing core's.
+		p.FreeFrame(th, a)
+		d := p.AllocFrameOn(th, 1)
+		if d != a {
+			t.Errorf("node-1 free list not reused: got %d, want %d", d, a)
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"daxvm/internal/mem"
 	"daxvm/internal/rbtree"
 	"daxvm/internal/sim"
+	"daxvm/internal/topo"
 )
 
 // BlocksPerHuge is the number of 4 KiB blocks in a 2 MiB huge page.
@@ -36,10 +37,19 @@ type freeExt struct {
 
 // Allocator manages the free space of one device.
 type Allocator struct {
-	tree   rbtree.Tree[freeExt] // keyed by start block
-	total  uint64
-	free   uint64
-	cursor uint64 // rotating goal
+	tree       rbtree.Tree[freeExt] // keyed by start block
+	total      uint64
+	free       uint64
+	cursor     uint64 // rotating goal
+	firstBlock uint64
+
+	// NUMA placement: when set on a multi-node topology, Alloc steers
+	// the goal cursor into the caller\'s preferred node\'s block range
+	// before carving (best effort; fragmentation may spill elsewhere).
+	tp            *topo.Topology
+	policy        topo.Policy
+	blocksPerNode uint64
+	ileave        uint64
 
 	Stats Stats
 }
@@ -55,9 +65,35 @@ type Stats struct {
 // one free extent. deviceZeroed marks the initial space as pre-zeroed
 // (fresh simulated media).
 func New(firstBlock, blocks uint64, deviceZeroed bool) *Allocator {
-	a := &Allocator{total: blocks, free: blocks, cursor: firstBlock}
+	a := &Allocator{total: blocks, free: blocks, cursor: firstBlock, firstBlock: firstBlock}
 	a.tree.Insert(firstBlock, freeExt{len: blocks, zeroed: deviceZeroed})
 	return a
+}
+
+// SetPlacement enables node-preferring allocation: node i\'s preferred
+// range is [firstBlock+i*blocksPerNode, firstBlock+(i+1)*blocksPerNode).
+// A nil or single-node topology disables steering (flat behaviour).
+func (a *Allocator) SetPlacement(tp *topo.Topology, policy topo.Policy, blocksPerNode uint64) {
+	if !tp.Multi() || blocksPerNode == 0 {
+		a.tp, a.blocksPerNode = nil, 0
+		return
+	}
+	a.tp, a.policy, a.blocksPerNode = tp, policy, blocksPerNode
+}
+
+// steer moves the rotating goal into t\'s preferred node\'s block range.
+// No-op unless placement is configured (so flat images keep the exact
+// historical cursor walk).
+func (a *Allocator) steer(t *sim.Thread) {
+	if a.tp == nil || t == nil {
+		return
+	}
+	node := a.policy.Pick(a.tp, a.tp.NodeOfCore(t.Core), &a.ileave)
+	lo := a.firstBlock + uint64(node)*a.blocksPerNode
+	hi := lo + a.blocksPerNode
+	if a.cursor < lo || a.cursor >= hi {
+		a.cursor = lo
+	}
 }
 
 // FreeBlocks reports free block count.
@@ -83,6 +119,7 @@ func (a *Allocator) Alloc(t *sim.Thread, n uint64) []Run {
 	if t != nil {
 		t.Charge(cost.ExtentAllocBase)
 	}
+	a.steer(t)
 	var runs []Run
 	remaining := n
 	for remaining > 0 {
@@ -107,6 +144,23 @@ func (a *Allocator) Alloc(t *sim.Thread, n uint64) []Run {
 
 // allocOne carves at most `want` blocks from one free extent.
 func (a *Allocator) allocOne(want uint64) (Run, bool) {
+	// Placement steering can park the cursor in the middle of a large
+	// free extent, which Ceiling (keyed on extent starts) cannot see.
+	// Carve from the cursor inside that extent so a steered goal really
+	// lands in its node's block range. Gated on placement being active:
+	// the flat allocator's historical walk is untouched.
+	if a.tp != nil {
+		if pk, pv, ok := a.tree.Floor(a.cursor); ok && pk < a.cursor && a.cursor < pk+pv.len {
+			take := pk + pv.len - a.cursor
+			if take > want {
+				take = want
+			}
+			start := a.cursor
+			a.carve(pk, pv, start, take)
+			a.cursor = start + take
+			return Run{Start: start, Len: take, Zeroed: pv.zeroed}, true
+		}
+	}
 	// Start searching at the cursor, wrapping once.
 	start, fe, ok := a.tree.Ceiling(a.cursor)
 	if !ok {

@@ -21,6 +21,7 @@ import (
 	"daxvm/internal/obs"
 	"daxvm/internal/pmem"
 	"daxvm/internal/sim"
+	"daxvm/internal/topo"
 )
 
 // FSKind selects the file-system model.
@@ -37,6 +38,19 @@ const (
 type Config struct {
 	// Cores is the number of hardware threads (the paper's socket has 16).
 	Cores int
+	// Nodes is the number of NUMA nodes (sockets). Default 1 keeps the
+	// flat single-node machine; >1 splits DRAM, PMem DIMMs and cores
+	// evenly across nodes.
+	Nodes int
+	// CoresPerNode overrides the contiguous-block core->node split
+	// (default Cores/Nodes).
+	CoresPerNode int
+	// Placement is the default page/table placement policy for processes:
+	// "", "local", "interleave" or "bind:<n>".
+	Placement string
+	// MountPlacement steers the file system's block allocator and
+	// DaxVM's table placement (same syntax as Placement).
+	MountPlacement string
 	// DeviceBytes is PMem capacity (default 4 GiB).
 	DeviceBytes uint64
 	// DRAMBytes is volatile capacity (default 8 GiB).
@@ -85,6 +99,15 @@ func (c Config) withDefaults() Config {
 	if c.ICacheCapacity == 0 {
 		c.ICacheCapacity = 1 << 16
 	}
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.CoresPerNode == 0 {
+		c.CoresPerNode = c.Cores / c.Nodes
+		if c.CoresPerNode == 0 {
+			c.CoresPerNode = 1
+		}
+	}
 	return c
 }
 
@@ -100,6 +123,7 @@ type MountedFS interface {
 type Kernel struct {
 	Cfg    Config
 	Engine *sim.Engine
+	Topo   *topo.Topology
 	Dev    *pmem.Device
 	Cpus   *cpu.Set
 	Pool   *dram.Pool
@@ -110,8 +134,9 @@ type Kernel struct {
 
 	AgeReport agefs.Report
 
-	procs    []*Proc
-	monitors []*core.Monitor
+	procs     []*Proc
+	monitors  []*core.Monitor
+	placement topo.Policy // default per-process policy
 
 	// shared latency histograms (registered once, fed by every core/proc)
 	walkHist  *obs.Histogram
@@ -122,13 +147,17 @@ type Kernel struct {
 // wires DaxVM.
 func Boot(cfg Config) *Kernel {
 	cfg = cfg.withDefaults()
+	tp := topo.New(cfg.Nodes, cfg.CoresPerNode)
 	k := &Kernel{
 		Cfg:    cfg,
 		Engine: sim.New(),
-		Dev:    pmem.New(pmem.Config{Size: cfg.DeviceBytes, TrackPersistence: cfg.TrackPersistence}),
+		Topo:   tp,
+		Dev:    pmem.New(pmem.Config{Size: cfg.DeviceBytes, TrackPersistence: cfg.TrackPersistence, Topo: tp}),
 		Cpus:   cpu.NewSet(cfg.Cores),
-		Pool:   dram.New(cfg.DRAMBytes),
+		Pool:   dram.NewNUMA(cfg.DRAMBytes, tp),
 	}
+	k.Cpus.SetTopology(tp)
+	k.placement = topo.MustParsePolicy(cfg.Placement)
 
 	switch cfg.FS {
 	case Nova:
@@ -139,9 +168,18 @@ func Boot(cfg Config) *Kernel {
 		k.FS = &ext4FS{f}
 	}
 
+	if tp.Multi() {
+		mp := topo.MustParsePolicy(cfg.MountPlacement)
+		a := k.allocator()
+		a.SetPlacement(tp, mp, a.TotalBlocks()/uint64(tp.Nodes()))
+	}
+
 	var hooks *vfs.Hooks
 	if cfg.DaxVM {
 		k.Dax = core.New(cfg.DaxVMConfig, k.Dev, k.Pool, k.Cpus, k.allocator(), k.releaser())
+		if tp.Multi() {
+			k.Dax.SetPlacement(topo.MustParsePolicy(cfg.MountPlacement))
+		}
 		hooks = k.Dax.Hooks(cfg.Prezero)
 		k.FS.SetHooks(hooks)
 		if cfg.Prezero {
@@ -246,6 +284,9 @@ type FileDesc struct {
 func (k *Kernel) NewProc() *Proc {
 	p := &Proc{K: k, fds: make(map[int]*FileDesc), nextFD: 3}
 	p.MM = mm.New(k.Pool, k.FS, k.Cpus)
+	if k.Topo.Multi() {
+		p.MM.SetPlacement(k.placement)
+	}
 	if k.Cfg.HugePagesOff {
 		p.MM.HugePagesEnabled = false
 	}
@@ -564,17 +605,32 @@ func (p *Proc) AccessMapped(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, n uint6
 		return err
 	}
 	dev := p.K.Dev
+	multi := dev.NodeCount() > 1
+	var off uint64
 	for rem := n; rem > 0; {
 		chunk := rem
 		if chunk > 64<<10 {
 			chunk = 64 << 10
 		}
-		if kind.isWrite() {
+		if multi {
+			// Route channel occupancy to the bank actually backing this
+			// chunk, so remote traffic contends on the remote node's DIMMs.
+			node, ok := p.MM.NodeOfMapped(va + mem.VirtAddr(off))
+			if !ok {
+				node = 0
+			}
+			if kind.isWrite() {
+				dev.BWWriteOn(t, node, chunk)
+			} else {
+				dev.BWReadOn(t, node, chunk)
+			}
+		} else if kind.isWrite() {
 			dev.BWWrite(t, chunk)
 		} else {
 			dev.BWRead(t, chunk)
 		}
 		rem -= chunk
+		off += chunk
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"fmt"
+
 	"daxvm/internal/cost"
 	"daxvm/internal/cpu"
 	"daxvm/internal/obs"
@@ -143,6 +145,24 @@ func (k *Kernel) registerCounters(r *obs.Registry) {
 	r.Counter("pmem.clwbs", func() uint64 { return dev.Stats.Clwbs })
 	r.Counter("pmem.fences", func() uint64 { return dev.Stats.Fences })
 	r.Counter("pmem.throttle_stall_cycles", func() uint64 { return dev.Stats.ThrottleStall })
+
+	// Per-node breakdowns: only on multi-node machines, so single-node
+	// snapshots stay byte-identical to the flat model's.
+	if k.Topo.Multi() {
+		for i := 0; i < dev.NodeCount(); i++ {
+			ns := dev.NodeStats(i)
+			pfx := fmt.Sprintf("pmem.node%d.", i)
+			r.Counter(pfx+"bytes_read", func() uint64 { return ns.BytesRead })
+			r.Counter(pfx+"bytes_written", func() uint64 { return ns.BytesWritten })
+			r.Counter(pfx+"bytes_zeroed", func() uint64 { return ns.BytesZeroed })
+			r.Counter(pfx+"nt_stores", func() uint64 { return ns.NTStores })
+			r.Counter(pfx+"throttle_stall_cycles", func() uint64 { return ns.ThrottleStall })
+		}
+		for i := 0; i < k.Pool.NodeCount(); i++ {
+			node := i
+			r.Counter(fmt.Sprintf("dram.node%d.used_bytes", i), func() uint64 { return k.Pool.UsedOn(node) })
+		}
+	}
 
 	pool := k.Pool
 	r.Counter("dram.allocs", func() uint64 { return pool.Stats.Allocs })

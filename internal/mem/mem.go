@@ -76,6 +76,23 @@ func (m Medium) String() string {
 	}
 }
 
+// NodeID identifies a NUMA node. Node 0 is the only node on a
+// single-socket (flat) machine, which keeps the zero value meaningful.
+type NodeID uint8
+
+// Loc is the full identity of a piece of physical memory: which
+// technology it is (Medium) and which NUMA node's DIMMs hold it. Walk
+// and data-path costs depend on both — a remote-socket Optane access is
+// far more expensive than a local one (Yang et al., FAST '20).
+type Loc struct {
+	Medium Medium
+	Node   NodeID
+}
+
+func (l Loc) String() string {
+	return fmt.Sprintf("%s@node%d", l.Medium, l.Node)
+}
+
 // Perm is a page/mapping permission mask.
 type Perm uint8
 

@@ -21,6 +21,7 @@ import (
 	"daxvm/internal/radix"
 	"daxvm/internal/rbtree"
 	"daxvm/internal/sim"
+	"daxvm/internal/topo"
 )
 
 // MapFlags are mmap(2) flags the simulator distinguishes.
@@ -69,6 +70,11 @@ type MM struct {
 	cores map[int]*cpu.Core // cores this process runs on (shootdown set)
 
 	vaCursor mem.VirtAddr
+
+	// policy places this process's page-table frames (and is inherited
+	// by DaxVM's volatile tables); ileave is its interleave cursor.
+	policy topo.Policy
+	ileave uint64
 
 	// HugePagesEnabled permits PMD-sized DAX mappings when alignment and
 	// extent contiguity allow (Linux's DAX huge page support).
@@ -124,18 +130,52 @@ func New(pool *dram.Pool, fs vfs.FS, cpus *cpu.Set) *MM {
 	}
 	m.AS = pt.NewAddressSpace(
 		func(t *sim.Thread, level int) *pt.Node {
+			node := mem.NodeID(0)
 			if t != nil && pool != nil {
-				pool.AllocFrame(t)
+				node = m.PickNode(t)
+				n := pt.NewNode(level, mem.Loc{Medium: mem.DRAM, Node: node})
+				n.Frame = pool.AllocFrameOn(t, node)
+				return n
 			}
-			return pt.NewNode(level, mem.DRAM)
+			return pt.NewNode(level, mem.Loc{Medium: mem.DRAM, Node: node})
 		},
 		func(t *sim.Thread, n *pt.Node) {
-			if t != nil && pool != nil {
-				pool.FreeFrame(t, 0)
+			if t != nil && pool != nil && n.Frame != pt.NoFrame {
+				pool.FreeFrame(t, n.Frame)
+				n.Frame = pt.NoFrame
 			}
 		},
 	)
 	return m
+}
+
+// SetPlacement selects the process's memory-placement policy.
+func (m *MM) SetPlacement(p topo.Policy) { m.policy = p }
+
+// Placement returns the process's placement policy.
+func (m *MM) Placement() topo.Policy { return m.policy }
+
+// PickNode applies the placement policy for an allocation requested by
+// t (whose core determines the local node). Always 0 on flat machines.
+func (m *MM) PickNode(t *sim.Thread) mem.NodeID {
+	if m.cpus == nil || !m.cpus.Topo.Multi() {
+		return 0
+	}
+	return m.policy.Pick(m.cpus.Topo, m.cpus.Topo.NodeOfCore(t.Core), &m.ileave)
+}
+
+// multiNode reports whether locality matters on this machine.
+func (m *MM) multiNode() bool { return m.cpus != nil && m.cpus.Topo.Multi() }
+
+// NodeOfMapped resolves which NUMA node's PMem backs the present
+// translation at va, structurally (no charges). ok=false when va is not
+// mapped to PMem.
+func (m *MM) NodeOfMapped(va mem.VirtAddr) (mem.NodeID, bool) {
+	e, _, _, ok := m.AS.Lookup(va)
+	if !ok || !e.OnPMem() {
+		return 0, false
+	}
+	return m.fs.Device().NodeOfPFN(e.PFN()), true
 }
 
 // FS returns the file system the process maps files from.
@@ -707,8 +747,10 @@ func (m *MM) Msync(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, length uint64
 // bytes actually touched within each page. write selects store semantics.
 func (m *MM) Access(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, n uint64, write bool, dataPerPage uint64) error {
 	end := va + mem.VirtAddr(n)
+	multi := m.multiNode()
 	for p := va.PageDown(); p < end; p += mem.PageSize {
-		if err := m.touchPage(t, core, p, write); err != nil {
+		e, err := m.touchPage(t, core, p, write)
+		if err != nil {
 			return err
 		}
 		lo, hi := p, p+mem.PageSize
@@ -719,28 +761,40 @@ func (m *MM) Access(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, n uint64, wr
 			hi = end
 		}
 		t.ChargeAs("data", dataPerPage*uint64(hi-lo)/mem.PageSize)
+		if multi && e.OnPMem() {
+			// Data touched on another socket's DIMMs pays the FAST '20
+			// remote-Optane deficit on top of the local rate.
+			if node := m.fs.Device().NodeOfPFN(e.PFN()); node != core.Node {
+				rate := uint64(cost.RemotePMemReadExtraPerPage)
+				if write {
+					rate = cost.RemotePMemWriteExtraPerPage
+				}
+				t.ChargeAs("data_remote", rate*uint64(hi-lo)/mem.PageSize)
+			}
+		}
 	}
 	return nil
 }
 
-// touchPage resolves one page, taking faults until the access succeeds.
-func (m *MM) touchPage(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, write bool) error {
+// touchPage resolves one page, taking faults until the access succeeds,
+// and returns the final leaf entry.
+func (m *MM) touchPage(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, write bool) (pt.Entry, error) {
 	for tries := 0; tries < 4; tries++ {
-		_, res := core.Translate(t, m.AS, va, write)
+		e, res := core.Translate(t, m.AS, va, write)
 		switch res {
 		case cpu.TransOK:
-			return nil
+			return e, nil
 		case cpu.TransNotPresent:
 			if err := m.PageFault(t, core, va, write); err != nil {
-				return err
+				return 0, err
 			}
 		case cpu.TransNoWrite:
 			if err := m.WPFault(t, core, va); err != nil {
-				return err
+				return 0, err
 			}
 		}
 	}
-	return fmt.Errorf("mm: access to %#x did not converge", va)
+	return 0, fmt.Errorf("mm: access to %#x did not converge", va)
 }
 
 // FindVMAForTest looks up a VMA without charging (test helper).

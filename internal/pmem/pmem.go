@@ -1,13 +1,20 @@
-// Package pmem simulates a byte-addressable persistent-memory device
-// (Intel Optane DCPMM in AppDirect mode, as used by the DaxVM paper).
+// Package pmem simulates byte-addressable persistent memory (Intel
+// Optane DCPMM in AppDirect mode, as used by the DaxVM paper).
 //
 // The device provides real storage (host memory) addressed by simulated
 // physical addresses, plus the persistence semantics that PMem software
 // depends on: regular (cached) stores are not durable until flushed with
 // clwb+fence, while non-temporal stores become durable at the next fence.
-// A device-wide bandwidth token bucket makes heavy background writers
-// (DaxVM's pre-zeroing daemon) interfere with foreground traffic the way
-// they do on real Optane.
+//
+// The physical address space is striped across per-NUMA-node banks (one
+// DIMM set per socket). Each bank has its own bandwidth token bucket, so
+// heavy background writers (DaxVM's pre-zeroing daemon) interfere with
+// foreground traffic on the same node the way they do on real Optane,
+// while traffic to different sockets proceeds independently. Accesses
+// that cross the socket interconnect pay the FAST '20 remote-Optane
+// penalties on top of the local rates. With a single-node topology (the
+// default) the device collapses to the original flat model, charge for
+// charge.
 package pmem
 
 import (
@@ -16,23 +23,36 @@ import (
 	"daxvm/internal/cost"
 	"daxvm/internal/mem"
 	"daxvm/internal/sim"
+	"daxvm/internal/topo"
 )
 
-// Device is one simulated PMem module set.
+// Device is one simulated PMem module set, possibly spanning several
+// NUMA nodes.
 type Device struct {
 	size uint64
 	data []byte
 
 	// Persistence tracking (enabled for crash tests): the set of dirty
 	// cache lines written with cached stores and not yet flushed, and the
-	// lines flushed but not yet fenced.
+	// lines flushed but not yet fenced. Tracked device-wide; durability
+	// does not depend on which socket holds the line.
 	trackPersistence bool
 	dirtyLines       map[uint64]struct{} // line index -> written, unflushed
 	flushedLines     map[uint64]struct{} // clwb issued, fence pending
 
-	bw tokenBucket
+	tp       *topo.Topology
+	bankSize uint64
+	banks    []bank
+	attrs    []string // "pmem.node0", ... attribution frames (multi-node only)
 
 	Stats Stats
+}
+
+// bank is the per-node slice of the device: its own channel occupancy
+// and traffic counters. The data itself lives in the shared slice.
+type bank struct {
+	bw    tokenBucket
+	stats Stats
 }
 
 // Stats aggregates device traffic.
@@ -54,6 +74,9 @@ type Config struct {
 	// TrackPersistence enables per-line durability tracking for crash
 	// simulation tests (costly; off for benchmarks).
 	TrackPersistence bool
+	// Topo places the device's DIMMs: capacity is split evenly across
+	// the topology's nodes. nil means a flat single-node device.
+	Topo *topo.Topology
 }
 
 // New creates a device. Backing memory is allocated lazily by the host OS
@@ -63,16 +86,28 @@ func New(cfg Config) *Device {
 	if cfg.Size == 0 || !mem.IsAligned(cfg.Size, mem.PageSize) {
 		panic(fmt.Sprintf("pmem: bad device size %d", cfg.Size))
 	}
+	nodes := 1
+	if cfg.Topo.Multi() {
+		nodes = cfg.Topo.Nodes()
+	}
 	d := &Device{
 		size:             cfg.Size,
 		data:             make([]byte, cfg.Size),
 		trackPersistence: cfg.TrackPersistence,
+		tp:               cfg.Topo,
+		bankSize:         mem.AlignedUp(cfg.Size/uint64(nodes), mem.PageSize),
+		banks:            make([]bank, nodes),
+	}
+	if nodes > 1 {
+		d.attrs = make([]string, nodes)
+		for i := range d.attrs {
+			d.attrs[i] = fmt.Sprintf("pmem.node%d", i)
+		}
 	}
 	if cfg.TrackPersistence {
 		d.dirtyLines = make(map[uint64]struct{})
 		d.flushedLines = make(map[uint64]struct{})
 	}
-	d.bw.init()
 	return d
 }
 
@@ -81,6 +116,29 @@ func (d *Device) Size() uint64 { return d.size }
 
 // Pages returns the device capacity in base pages.
 func (d *Device) Pages() uint64 { return d.size / mem.PageSize }
+
+// NodeCount returns how many NUMA-node banks the device spans.
+func (d *Device) NodeCount() int { return len(d.banks) }
+
+// NodePages returns the capacity of one node's bank in base pages.
+func (d *Device) NodePages() uint64 { return d.bankSize / mem.PageSize }
+
+// NodeOf returns the NUMA node whose DIMMs hold addr.
+func (d *Device) NodeOf(addr mem.PhysAddr) mem.NodeID {
+	n := uint64(addr) / d.bankSize
+	if n >= uint64(len(d.banks)) {
+		n = uint64(len(d.banks)) - 1
+	}
+	return mem.NodeID(n)
+}
+
+// NodeOfPFN is NodeOf for a page frame number.
+func (d *Device) NodeOfPFN(pfn mem.PFN) mem.NodeID { return d.NodeOf(pfn.Addr()) }
+
+// NodeStats returns the traffic counters of one node's bank.
+func (d *Device) NodeStats(node int) *Stats { return &d.banks[node].stats }
+
+func (d *Device) multi() bool { return len(d.banks) > 1 }
 
 // Bytes returns the raw backing slice for [addr, addr+n). The caller is
 // responsible for charging access costs; use the typed accessors where
@@ -96,19 +154,45 @@ func (d *Device) check(addr mem.PhysAddr, n uint64) {
 	}
 }
 
+// remoteExtra returns the added cycles for t's core reaching node's
+// DIMMs across the socket interconnect (0 when the access is local or
+// the machine is flat). Sub-page transfers pay one interconnect hop.
+func (d *Device) remoteExtra(t *sim.Thread, node mem.NodeID, ratePerPage, n uint64) uint64 {
+	if !d.tp.Remote(d.tp.NodeOfCore(t.Core), node) {
+		return 0
+	}
+	extra := ratePerPage * n / mem.PageSize
+	if extra == 0 {
+		extra = cost.RemotePMemWalkExtra
+	}
+	return extra
+}
+
 // Read copies device content into buf, charging sequential-read cost and
-// consuming read bandwidth. Used for kernel copies (read(2) internals).
+// consuming the owning node's read bandwidth. Used for kernel copies
+// (read(2) internals). A range spanning a bank boundary is attributed to
+// the starting node (extents are node-pure under placement, so this only
+// approximates pathological straddling ranges).
 func (d *Device) Read(t *sim.Thread, addr mem.PhysAddr, buf []byte) {
 	n := uint64(len(buf))
 	d.check(addr, n)
 	copy(buf, d.data[addr:uint64(addr)+n])
+	node := d.NodeOf(addr)
 	d.Stats.BytesRead += n
+	d.banks[node].stats.BytesRead += n
 	c := cost.CopyFromPMemPerPage * n / mem.PageSize
 	if c == 0 {
 		c = cost.PMemSeqLoadLat
 	}
+	if d.multi() {
+		t.PushAttr(d.attrs[node])
+		defer t.PopAttr()
+		if extra := d.remoteExtra(t, node, cost.RemotePMemReadExtraPerPage, n); extra > 0 {
+			t.ChargeAs("remote_read", extra)
+		}
+	}
 	t.ChargeAs("pmem_read", c)
-	d.bw.consumeRead(t, n, &d.Stats)
+	d.consumeRead(t, node, n)
 }
 
 // WriteNT writes buf with non-temporal stores: the data bypasses the CPU
@@ -117,8 +201,23 @@ func (d *Device) WriteNT(t *sim.Thread, addr mem.PhysAddr, buf []byte) {
 	n := uint64(len(buf))
 	d.check(addr, n)
 	copy(d.data[addr:uint64(addr)+n], buf)
+	d.writeNTCommon(t, addr, n)
+}
+
+// StreamNT charges an n-byte non-temporal store stream without
+// materializing content (journal log writes and other synthetic payloads
+// whose bytes the experiments never read back).
+func (d *Device) StreamNT(t *sim.Thread, addr mem.PhysAddr, n uint64) {
+	d.check(addr, n)
+	d.writeNTCommon(t, addr, n)
+}
+
+func (d *Device) writeNTCommon(t *sim.Thread, addr mem.PhysAddr, n uint64) {
+	node := d.NodeOf(addr)
 	d.Stats.BytesWritten += n
 	d.Stats.NTStores++
+	d.banks[node].stats.BytesWritten += n
+	d.banks[node].stats.NTStores++
 	if d.trackPersistence {
 		// NT stores go to the WC buffer; durable at next fence. Model
 		// them as flushed-awaiting-fence.
@@ -131,39 +230,41 @@ func (d *Device) WriteNT(t *sim.Thread, addr mem.PhysAddr, buf []byte) {
 	if c == 0 {
 		c = cost.NTStoreLineCost * (n + mem.CacheLineSize - 1) / mem.CacheLineSize
 	}
-	t.ChargeAs("ntstore", c)
-	d.bw.consumeWrite(t, n, &d.Stats)
-}
-
-// StreamNT charges an n-byte non-temporal store stream without
-// materializing content (journal log writes and other synthetic payloads
-// whose bytes the experiments never read back).
-func (d *Device) StreamNT(t *sim.Thread, addr mem.PhysAddr, n uint64) {
-	d.check(addr, n)
-	d.Stats.BytesWritten += n
-	d.Stats.NTStores++
-	c := cost.NTStorePMemPerPage * n / mem.PageSize
-	if c == 0 {
-		c = cost.NTStoreLineCost * (n + mem.CacheLineSize - 1) / mem.CacheLineSize
+	if d.multi() {
+		t.PushAttr(d.attrs[node])
+		defer t.PopAttr()
+		if extra := d.remoteExtra(t, node, cost.RemotePMemWriteExtraPerPage, n); extra > 0 {
+			t.ChargeAs("remote_write", extra)
+		}
 	}
 	t.ChargeAs("ntstore", c)
-	d.bw.consumeWrite(t, n, &d.Stats)
+	d.consumeWrite(t, node, n)
 }
 
 // WriteCached writes buf with regular stores: fast, but NOT durable until
-// the lines are flushed (Flush) and fenced (Fence).
+// the lines are flushed (Flush) and fenced (Fence). Remote cached stores
+// pay nothing extra here — the store buffer hides the interconnect; the
+// cost lands at flush/fence time.
 func (d *Device) WriteCached(t *sim.Thread, addr mem.PhysAddr, buf []byte) {
 	n := uint64(len(buf))
 	d.check(addr, n)
 	copy(d.data[addr:uint64(addr)+n], buf)
+	node := d.NodeOf(addr)
 	d.Stats.BytesWritten += n
 	d.Stats.CachedStores++
+	d.banks[node].stats.BytesWritten += n
+	d.banks[node].stats.CachedStores++
 	if d.trackPersistence {
 		d.forEachLine(addr, n, func(l uint64) { d.dirtyLines[l] = struct{}{} })
 	}
 	// Cached stores complete at cache speed; the PMem cost is paid at
 	// flush time.
-	t.ChargeAs("cached_store", cost.CacheHitLatency*((n+mem.CacheLineSize-1)/mem.CacheLineSize)/4)
+	c := cost.CacheHitLatency * ((n + mem.CacheLineSize - 1) / mem.CacheLineSize) / 4
+	if d.multi() {
+		t.PushAttr(d.attrs[node])
+		defer t.PopAttr()
+	}
+	t.ChargeAs("cached_store", c)
 }
 
 // Zero zeroes [addr, addr+n) with non-temporal stores (security zeroing of
@@ -171,8 +272,11 @@ func (d *Device) WriteCached(t *sim.Thread, addr mem.PhysAddr, buf []byte) {
 func (d *Device) Zero(t *sim.Thread, addr mem.PhysAddr, n uint64) {
 	d.check(addr, n)
 	clear(d.data[addr : uint64(addr)+n])
+	node := d.NodeOf(addr)
 	d.Stats.BytesZeroed += n
 	d.Stats.BytesWritten += n
+	d.banks[node].stats.BytesZeroed += n
+	d.banks[node].stats.BytesWritten += n
 	if d.trackPersistence {
 		d.forEachLine(addr, n, func(l uint64) {
 			delete(d.dirtyLines, l)
@@ -183,16 +287,25 @@ func (d *Device) Zero(t *sim.Thread, addr mem.PhysAddr, n uint64) {
 	if c == 0 {
 		c = cost.NTStoreLineCost
 	}
+	if d.multi() {
+		t.PushAttr(d.attrs[node])
+		defer t.PopAttr()
+		if extra := d.remoteExtra(t, node, cost.RemotePMemWriteExtraPerPage, n); extra > 0 {
+			t.ChargeAs("remote_write", extra)
+		}
+	}
 	t.ChargeAs("zero", c)
-	d.bw.consumeWrite(t, n, &d.Stats)
+	d.consumeWrite(t, node, n)
 }
 
 // Flush issues clwb for every cache line in [addr, addr+n): the write-back
 // is durable after the next Fence. Charges store+clwb bandwidth.
 func (d *Device) Flush(t *sim.Thread, addr mem.PhysAddr, n uint64) {
 	d.check(addr, n)
+	node := d.NodeOf(addr)
 	lines := (n + mem.CacheLineSize - 1) / mem.CacheLineSize
 	d.Stats.Clwbs += lines
+	d.banks[node].stats.Clwbs += lines
 	if d.trackPersistence {
 		d.forEachLine(addr, n, func(l uint64) {
 			if _, ok := d.dirtyLines[l]; ok {
@@ -201,12 +314,17 @@ func (d *Device) Flush(t *sim.Thread, addr mem.PhysAddr, n uint64) {
 			}
 		})
 	}
+	if d.multi() {
+		t.PushAttr(d.attrs[node])
+		defer t.PopAttr()
+	}
 	t.ChargeAs("clwb", cost.ClwbCost*lines)
-	d.bw.consumeWrite(t, lines*mem.CacheLineSize, &d.Stats)
+	d.consumeWrite(t, node, lines*mem.CacheLineSize)
 }
 
 // Fence drains pending flushes/NT stores (sfence); after it returns,
-// everything previously flushed is durable.
+// everything previously flushed is durable. The drain is core-local, so
+// it carries no node attribution.
 func (d *Device) Fence(t *sim.Thread) {
 	d.Stats.Fences++
 	if d.trackPersistence {
@@ -265,42 +383,75 @@ func (d *Device) DirtyLineCount() int { return len(d.dirtyLines) }
 
 // BWRead accounts shared-channel occupancy for DAX loads that bypass the
 // kernel (mapped access): the data still crosses the DIMM channel even
-// though no kernel copy happens.
-func (d *Device) BWRead(t *sim.Thread, n uint64) {
-	consume(t, &d.bw.readBusyUntil, n, cost.PMemDeviceReadBytesPerCycle, &d.Stats)
-}
+// though no kernel copy happens. Single-node convenience for BWReadOn.
+func (d *Device) BWRead(t *sim.Thread, n uint64) { d.BWReadOn(t, 0, n) }
 
 // BWWrite is the store-side analogue of BWRead.
-func (d *Device) BWWrite(t *sim.Thread, n uint64) {
-	consume(t, &d.bw.writeBusyUntil, n, cost.PMemDeviceWriteBytesPerCycle, &d.Stats)
+func (d *Device) BWWrite(t *sim.Thread, n uint64) { d.BWWriteOn(t, 0, n) }
+
+// BWReadOn accounts mapped-read channel occupancy against one node's bank.
+func (d *Device) BWReadOn(t *sim.Thread, node mem.NodeID, n uint64) {
+	if d.multi() {
+		t.PushAttr(d.attrs[node])
+		defer t.PopAttr()
+	}
+	d.consumeRead(t, node, n)
 }
 
-// ResetTiming clears bandwidth-channel occupancy and statistics. Called
-// between an experiment's setup phase (image aging, corpus creation) and
-// its measurement phase so setup traffic does not bleed into results.
+// BWWriteOn accounts mapped-write channel occupancy against one node's bank.
+func (d *Device) BWWriteOn(t *sim.Thread, node mem.NodeID, n uint64) {
+	if d.multi() {
+		t.PushAttr(d.attrs[node])
+		defer t.PopAttr()
+	}
+	d.consumeWrite(t, node, n)
+}
+
+// ResetTiming clears bandwidth-channel occupancy and statistics on every
+// bank. Called between an experiment's setup phase (image aging, corpus
+// creation) and its measurement phase so setup traffic does not bleed
+// into results.
 func (d *Device) ResetTiming() {
-	d.bw = tokenBucket{}
+	for i := range d.banks {
+		d.banks[i] = bank{}
+	}
 	d.Stats = Stats{}
+}
+
+func (d *Device) consumeRead(t *sim.Thread, node mem.NodeID, n uint64) {
+	stall := consume(t, &d.banks[node].bw.readBusyUntil, n, cost.PMemDeviceReadBytesPerCycle)
+	if stall > 0 {
+		d.Stats.ThrottleStall += stall
+		d.banks[node].stats.ThrottleStall += stall
+	}
+}
+
+func (d *Device) consumeWrite(t *sim.Thread, node mem.NodeID, n uint64) {
+	stall := consume(t, &d.banks[node].bw.writeBusyUntil, n, cost.PMemDeviceWriteBytesPerCycle)
+	if stall > 0 {
+		d.Stats.ThrottleStall += stall
+		d.banks[node].stats.ThrottleStall += stall
+	}
 }
 
 // --- bandwidth token bucket -------------------------------------------------
 
-// tokenBucket serializes device bandwidth in virtual time. The issuing
-// thread's own charge already covers its per-thread transfer time; the
-// bucket additionally models the shared device channel: a transfer of n
-// bytes occupies the channel for n/deviceRate cycles ending no earlier
-// than previous transfers end. If the channel cannot complete the transfer
-// by the thread's current clock, the thread stalls for the difference —
-// which is exactly how background zeroing steals bandwidth from foreground
-// appends on real Optane.
+// tokenBucket serializes one bank's bandwidth in virtual time. The
+// issuing thread's own charge already covers its per-thread transfer
+// time; the bucket additionally models the shared per-node channel: a
+// transfer of n bytes occupies the channel for n/deviceRate cycles
+// ending no earlier than previous transfers end. If the channel cannot
+// complete the transfer by the thread's current clock, the thread stalls
+// for the difference — which is exactly how background zeroing steals
+// bandwidth from foreground appends on real Optane.
 type tokenBucket struct {
 	writeBusyUntil uint64
 	readBusyUntil  uint64
 }
 
-func (b *tokenBucket) init() {}
-
-func consume(t *sim.Thread, busyUntil *uint64, n uint64, rate float64, st *Stats) {
+// consume books an n-byte transfer on the channel, charges any stall to
+// t, and returns the stall cycles for the caller's statistics.
+func consume(t *sim.Thread, busyUntil *uint64, n uint64, rate float64) uint64 {
 	// Synchronization point: the shared channel state must be touched in
 	// virtual-time order or threads that never block would serialize
 	// each other spuriously.
@@ -318,15 +469,8 @@ func consume(t *sim.Thread, busyUntil *uint64, n uint64, rate float64, st *Stats
 	*busyUntil = finish
 	if finish > now {
 		stall := finish - now
-		st.ThrottleStall += stall
 		t.ChargeAs("bw_stall", stall)
+		return stall
 	}
-}
-
-func (b *tokenBucket) consumeWrite(t *sim.Thread, n uint64, st *Stats) {
-	consume(t, &b.writeBusyUntil, n, cost.PMemDeviceWriteBytesPerCycle, st)
-}
-
-func (b *tokenBucket) consumeRead(t *sim.Thread, n uint64, st *Stats) {
-	consume(t, &b.readBusyUntil, n, cost.PMemDeviceReadBytesPerCycle, st)
+	return 0
 }

@@ -7,9 +7,10 @@
 //
 // Two properties matter for DaxVM:
 //
-//   - Nodes record the Medium they live on (process tables in DRAM, DaxVM
-//     persistent file tables in PMem); the page walker charges TLB-miss
-//     costs accordingly (paper Table II).
+//   - Nodes record the Loc (medium + NUMA node) they live on (process
+//     tables in DRAM, DaxVM persistent file tables in PMem); the page
+//     walker charges TLB-miss costs accordingly (paper Table II), with
+//     remote-node surcharges on a multi-socket topology.
 //
 //   - Sub-trees can be attached/detached at interior levels (PMD/PUD):
 //     DaxVM splices shared pre-populated file tables into process trees and
@@ -106,12 +107,21 @@ func index(va mem.VirtAddr, level int) int {
 	return int(uint64(va)>>LevelShift(level)) & 511
 }
 
+// NoFrame marks a node whose backing frame is not tracked by a DRAM
+// pool (PMem-resident nodes, or nodes allocated without a pool).
+const NoFrame = ^mem.PFN(0)
+
 // Node is one 512-entry table.
 type Node struct {
 	Entries  [mem.PTEsPerTable]Entry
 	children [mem.PTEsPerTable]*Node
 	Level    int
-	Medium   mem.Medium
+	Loc      mem.Loc
+
+	// Frame is the DRAM frame holding this node (NoFrame when the node
+	// lives on PMem or was allocated outside a pool). Deallocation paths
+	// return it to the pool so double frees are caught.
+	Frame mem.PFN
 
 	// Shared marks DaxVM file-table nodes: attach points reference them
 	// and teardown must detach rather than free.
@@ -135,9 +145,10 @@ type Node struct {
 	live int
 }
 
-// NewNode allocates a table node at the given level in the given medium.
-func NewNode(level int, medium mem.Medium) *Node {
-	return &Node{Level: level, Medium: medium}
+// NewNode allocates a table node at the given level at the given
+// location (medium + NUMA node).
+func NewNode(level int, loc mem.Loc) *Node {
+	return &Node{Level: level, Loc: loc, Frame: NoFrame}
 }
 
 // Child returns the interior child at idx.

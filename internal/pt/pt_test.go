@@ -12,7 +12,7 @@ import (
 
 func newAS() *AddressSpace {
 	return NewAddressSpace(
-		func(_ *sim.Thread, level int) *Node { return NewNode(level, mem.DRAM) },
+		func(_ *sim.Thread, level int) *Node { return NewNode(level, mem.Loc{Medium: mem.DRAM}) },
 		func(_ *sim.Thread, _ *Node) {},
 	)
 }
@@ -67,7 +67,7 @@ func TestHugeMapping(t *testing.T) {
 func TestAttachDetachSharedFragment(t *testing.T) {
 	// A shared PTE-level node attached into two address spaces with
 	// different permissions must yield different effective writability.
-	sub := NewNode(LevelPTE, mem.PMem)
+	sub := NewNode(LevelPTE, mem.Loc{Medium: mem.PMem})
 	sub.Shared = true
 	run(func(th *sim.Thread) {
 		for i := 0; i < 16; i++ {
@@ -110,7 +110,7 @@ func TestAttachDetachSharedFragment(t *testing.T) {
 }
 
 func TestAttachedPerm(t *testing.T) {
-	sub := NewNode(LevelPTE, mem.DRAM)
+	sub := NewNode(LevelPTE, mem.Loc{Medium: mem.DRAM})
 	sub.Shared = true
 	run(func(th *sim.Thread) {
 		sub.SetEntry(th, 0, MakeEntry(1, mem.PermRead|mem.PermWrite, true, false))
@@ -153,7 +153,7 @@ func TestClearRange(t *testing.T) {
 }
 
 func TestClearRangeDetachesFragments(t *testing.T) {
-	sub := NewNode(LevelPTE, mem.PMem)
+	sub := NewNode(LevelPTE, mem.Loc{Medium: mem.PMem})
 	sub.Shared = true
 	as := newAS()
 	run(func(th *sim.Thread) {
@@ -172,7 +172,7 @@ func TestClearRangeDetachesFragments(t *testing.T) {
 
 func TestPMemBackingMirror(t *testing.T) {
 	dev := pmem.New(pmem.Config{Size: 1 << 20})
-	n := NewNode(LevelPTE, mem.PMem)
+	n := NewNode(LevelPTE, mem.Loc{Medium: mem.PMem})
 	n.Backing = dev
 	n.BackAddr = 0x4000
 	run(func(th *sim.Thread) {
@@ -229,7 +229,7 @@ func TestQuickMapLookupInverse(t *testing.T) {
 func TestClearRangePrunesNodes(t *testing.T) {
 	freed := 0
 	as := NewAddressSpace(
-		func(_ *sim.Thread, level int) *Node { return NewNode(level, mem.DRAM) },
+		func(_ *sim.Thread, level int) *Node { return NewNode(level, mem.Loc{Medium: mem.DRAM}) },
 		func(_ *sim.Thread, _ *Node) { freed++ },
 	)
 	run(func(th *sim.Thread) {

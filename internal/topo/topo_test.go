@@ -1,0 +1,82 @@
+package topo
+
+import (
+	"testing"
+
+	"daxvm/internal/mem"
+)
+
+func TestNodeOfCore(t *testing.T) {
+	tp := New(2, 8)
+	for core, want := range map[int]mem.NodeID{0: 0, 7: 0, 8: 1, 15: 1, 16: 1} {
+		if got := tp.NodeOfCore(core); got != want {
+			t.Errorf("NodeOfCore(%d) = %d, want %d", core, got, want)
+		}
+	}
+	var nilTp *Topology
+	if nilTp.NodeOfCore(5) != 0 || nilTp.Multi() {
+		t.Error("nil topology must behave as flat node 0")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	tp := New(2, 4)
+	if tp.Distance(0, 0) != DistanceLocal || tp.Distance(0, 1) != DistanceRemote {
+		t.Errorf("distance matrix wrong: local=%d remote=%d", tp.Distance(0, 0), tp.Distance(0, 1))
+	}
+	if !tp.Remote(0, 1) || tp.Remote(1, 1) {
+		t.Error("Remote misclassifies node pairs")
+	}
+	if Single(16).Remote(0, 0) {
+		t.Error("single-node machine has no remote nodes")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+		ok   bool
+	}{
+		{"", Policy{Kind: Local}, true},
+		{"local", Policy{Kind: Local}, true},
+		{"interleave", Policy{Kind: Interleave}, true},
+		{"bind:1", Policy{Kind: Bind, Node: 1}, true},
+		{"bind:x", Policy{}, false},
+		{"bind:-1", Policy{}, false},
+		{"remote", Policy{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParsePolicy(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParsePolicy(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	if MustParsePolicy("bind:3").String() != "bind:3" {
+		t.Error("Policy round-trip through String failed")
+	}
+}
+
+func TestPolicyPick(t *testing.T) {
+	tp := New(2, 2)
+	var ctr uint64
+	if (Policy{Kind: Local}).Pick(tp, 1, &ctr) != 1 {
+		t.Error("local policy must follow the requesting core's node")
+	}
+	il := Policy{Kind: Interleave}
+	got := []mem.NodeID{il.Pick(tp, 0, &ctr), il.Pick(tp, 0, &ctr), il.Pick(tp, 0, &ctr)}
+	if got[0] != 0 || got[1] != 1 || got[2] != 0 {
+		t.Errorf("interleave sequence = %v, want rotation 0,1,0", got)
+	}
+	if (Policy{Kind: Bind, Node: 9}).Pick(tp, 0, &ctr) != 1 {
+		t.Error("bind past the last node must clamp")
+	}
+	// Flat machine: every policy collapses to node 0.
+	if il.Pick(Single(4), 0, &ctr) != 0 || il.Pick(nil, 0, &ctr) != 0 {
+		t.Error("single-node/nil topology must always pick node 0")
+	}
+}

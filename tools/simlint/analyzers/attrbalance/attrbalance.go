@@ -215,7 +215,11 @@ func (v *visitor) branch(stmts []ast.Stmt, st *state, pos token.Pos) {
 		*st = saved
 		return
 	}
-	if st.open != saved.open {
+	// Compare the NET balance (open minus deferred): a branch that both
+	// pushes a frame and defers its pop — the conditional-attribution
+	// idiom `if multi { t.PushAttr(x); defer t.PopAttr() }` — closes the
+	// frame on every path out of the function and is sound.
+	if st.open-st.deferred != saved.open-saved.deferred {
 		v.pass.Reportf(pos, "attribution frame opened or closed on only one side of a branch")
 		*st = saved
 	}

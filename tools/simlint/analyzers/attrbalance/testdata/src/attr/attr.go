@@ -45,6 +45,25 @@ func oneSidedBranch(t *sim.Thread, b bool) {
 	t.Charge(1)
 }
 
+// conditionalAttr is the per-node device idiom: the frame opens only on
+// multi-node machines, and its pop is deferred in the same branch, so
+// every path out of the function is balanced.
+func conditionalAttr(t *sim.Thread, multi bool) {
+	if multi {
+		t.PushAttr("pmem.node1")
+		defer t.PopAttr()
+	}
+	t.ChargeAs("read", 100)
+}
+
+// conditionalPushOnly still leaks: the deferred pop is missing.
+func conditionalPushOnly(t *sim.Thread, multi bool) {
+	if multi { // want `attribution frame opened or closed on only one side of a branch`
+		t.PushAttr("pmem.node1")
+	}
+	t.ChargeAs("read", 100)
+}
+
 func unbalancedLoop(t *sim.Thread, n int) {
 	for i := 0; i < n; i++ { // want `loop iteration changes the attribution frame balance`
 		t.PushAttr("iter")

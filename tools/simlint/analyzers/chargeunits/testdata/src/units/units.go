@@ -48,6 +48,20 @@ func rateConversionOK(t *sim.Thread, numPages uint64) {
 	t.Charge(numPages * cost.CopyDRAMPerPage)
 }
 
+func remoteRateOK(t *sim.Thread, numPages uint64) {
+	// The NUMA surcharge constants follow the Per-suffix discipline:
+	// Per<X>-named rates are untyped, so scaling by a count and charging
+	// the product is fine.
+	t.Charge(numPages * cost.RemotePMemReadExtraPerPage)
+	t.ChargeAs("ipi_send", 3*cost.IPICrossSocketPerTarget)
+}
+
+func remoteMixedUnits(sizeBytes uint64) bool {
+	// The flat remote-walk surcharge is cycles; comparing bytes against
+	// it mixes units.
+	return sizeBytes > cost.RemotePMemWalkExtra // want `expression mixes bytes and cycles`
+}
+
 func thresholdOK(numPages uint64) bool {
 	// pages compared against a pages-suffixed threshold: same unit.
 	return numPages > cost.FullFlushThresholdPages
