@@ -1,0 +1,24 @@
+package main
+
+import "flag"
+
+// parseInterleaved parses argv with fs, letting flags and positional
+// arguments interleave freely: the standard flag package stops at the
+// first positional, which used to force a hand-rolled re-scan switch that
+// every new flag had to be added to twice. Here the parse simply resumes
+// after each positional, so a flag registered once works in any position.
+// Returns the positionals in order.
+func parseInterleaved(fs *flag.FlagSet, argv []string) ([]string, error) {
+	var pos []string
+	for {
+		if err := fs.Parse(argv); err != nil {
+			return nil, err
+		}
+		argv = fs.Args()
+		if len(argv) == 0 {
+			return pos, nil
+		}
+		pos = append(pos, argv[0])
+		argv = argv[1:]
+	}
+}

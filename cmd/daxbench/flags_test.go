@@ -1,0 +1,46 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// Flags must be honored wherever they appear, including after experiment
+// ids — the usage pattern `daxbench ftcost -quick -metrics-out dir`.
+func TestParseInterleavedFlagsAfterPositionals(t *testing.T) {
+	fs := flag.NewFlagSet("daxbench", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	quick := fs.Bool("quick", false, "")
+	out := fs.String("metrics-out", "", "")
+	n := fs.Int("nodes", 0, "")
+
+	pos, err := parseInterleaved(fs, []string{"ftcost", "-quick", "storage", "-metrics-out", "dir", "-nodes", "4", "numa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"ftcost", "storage", "numa"}; !reflect.DeepEqual(pos, want) {
+		t.Fatalf("positionals = %v, want %v", pos, want)
+	}
+	if !*quick || *out != "dir" || *n != 4 {
+		t.Fatalf("flags not honored: quick=%v metrics-out=%q nodes=%d", *quick, *out, *n)
+	}
+}
+
+func TestParseInterleavedUnknownFlag(t *testing.T) {
+	fs := flag.NewFlagSet("daxbench", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	if _, err := parseInterleaved(fs, []string{"ftcost", "-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag after positional did not error")
+	}
+}
+
+func TestParseInterleavedNoArgs(t *testing.T) {
+	fs := flag.NewFlagSet("daxbench", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	pos, err := parseInterleaved(fs, nil)
+	if err != nil || len(pos) != 0 {
+		t.Fatalf("pos=%v err=%v", pos, err)
+	}
+}

@@ -10,14 +10,21 @@
 //
 // Observability:
 //
-//	-trace out.json      write a Chrome trace of the run (open in Perfetto)
+//	-trace out.json      write a Chrome trace of the run (open in Perfetto;
+//	                     includes timeline counter tracks)
 //	-metrics-out dir     write a BENCH_<id>.json artifact per experiment
 //	-profile-out out.folded  write the cycle profile as folded stacks
 //	                         (feed to flamegraph.pl or speedscope)
+//	-timeline-out out.csv    write per-interval timeline series as tidy CSV
+//
+// Every experiment run also prints a host line (wall seconds and engine
+// events/sec) and embeds it in the artifact's `host` block — the only
+// artifact field that varies between runs of the same build.
 //
 // Compare exits 0 when the new artifact is within tolerance of the old,
 // 1 on regression, 2 when the artifacts are not comparable (different
-// experiment or config) or unreadable.
+// experiment or config) or unreadable. Host-speed deltas print as
+// informational lines and never affect the exit code.
 package main
 
 import (
@@ -25,15 +32,27 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 	"time"
 
 	"daxvm/internal/bench"
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/timeline"
 )
 
 // profileTopN bounds the per-experiment cycle table printed on stdout.
 const profileTopN = 12
+
+// timelineTracks are the registry counters mirrored as Chrome counter
+// tracks alongside the always-present "cycles" track.
+var timelineTracks = []string{
+	"cpu.faults",
+	"mm.lock.read.wait_cycles",
+	"mm.lock.wait_cycles",
+	"pmem.bytes_read",
+	"pmem.bytes_written",
+	"pmem.nt_stores",
+	"tlb.shootdowns",
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink working sets for a fast pass")
@@ -41,50 +60,14 @@ func main() {
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of the run to this file")
 	metricsDir := flag.String("metrics-out", "", "write a BENCH_<id>.json artifact per experiment into this directory")
 	profilePath := flag.String("profile-out", "", "write the run's cycle profile as folded stacks to this file")
+	timelinePath := flag.String("timeline-out", "", "write per-interval timeline series as CSV to this file")
 	compare := flag.Bool("compare", false, "compare two artifacts: daxbench -compare old.json new.json")
 	nodes := flag.Int("nodes", 0, "NUMA node count for topology-aware experiments (0 = experiment default)")
-	placement := flag.String("placement", "", "placement policy for topology-aware experiments: local|remote|interleave")
-	flag.Parse()
-	// Accept flags after the command too (flag stops at positionals).
-	args := make([]string, 0, flag.NArg())
-	rest := flag.Args()
-	for i := 0; i < len(rest); i++ {
-		a := rest[i]
-		switch a {
-		case "-quick", "--quick":
-			*quick = true
-		case "-v", "--v":
-			*verbose = true
-		case "-compare", "--compare":
-			*compare = true
-		case "-trace", "--trace", "-metrics-out", "--metrics-out", "-profile-out", "--profile-out",
-			"-nodes", "--nodes", "-placement", "--placement":
-			if i+1 >= len(rest) {
-				fmt.Fprintf(os.Stderr, "%s needs a value\n", a)
-				os.Exit(2)
-			}
-			i++
-			switch a {
-			case "-trace", "--trace":
-				*tracePath = rest[i]
-			case "-metrics-out", "--metrics-out":
-				*metricsDir = rest[i]
-			case "-nodes", "--nodes":
-				n, err := strconv.Atoi(rest[i])
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "-nodes: %q is not an integer\n", rest[i])
-					os.Exit(2)
-				}
-				*nodes = n
-			case "-placement", "--placement":
-				*placement = rest[i]
-			default:
-				*profilePath = rest[i]
-			}
-		default:
-			args = append(args, a)
-		}
-	}
+	placement := flag.String("placement", "", "placement policy for topology-aware experiments: local|remote|interleave|bind:<n>")
+	// Flags may appear before or after experiment ids; flag.CommandLine
+	// exits on parse errors, so the error return is unreachable here.
+	args, _ := parseInterleaved(flag.CommandLine, os.Args[1:])
+
 	if *compare {
 		if len(args) != 2 {
 			fmt.Fprintln(os.Stderr, "usage: daxbench -compare old.json new.json")
@@ -102,18 +85,28 @@ func main() {
 		os.Exit(2)
 	}
 	if *placement != "" && !bench.NumaSupportedPlacement(*placement) {
-		fmt.Fprintf(os.Stderr, "-placement %q not supported; use local, remote or interleave\n", *placement)
+		fmt.Fprintf(os.Stderr, "-placement %q not supported; use local, remote, interleave or bind:<n>\n", *placement)
 		os.Exit(2)
 	}
 	opts := bench.Options{Quick: *quick, Nodes: *nodes, Placement: *placement}
 	if *verbose {
 		opts.Log = os.Stderr
 	}
-	if *tracePath != "" || *metricsDir != "" || *profilePath != "" {
-		opts.Obs = obs.New(0)
-	}
+	// The hub and timeline are always on: sampling charges zero simulated
+	// cycles, and the host summary needs the engine event counts. The
+	// cycle-attribution stdout table stays gated on an output flag so the
+	// default output is unchanged.
+	opts.Obs = obs.New(0)
+	opts.Timeline = timeline.New(opts.Obs.Reg, opts.Obs.Cycles, timeline.Config{
+		Tracer:        opts.Obs.Trace,
+		TrackCounters: timelineTracks,
+	})
 
-	r := &runner{opts: opts, metricsDir: *metricsDir}
+	r := &runner{
+		opts:        opts,
+		metricsDir:  *metricsDir,
+		printCycles: *tracePath != "" || *metricsDir != "" || *profilePath != "",
+	}
 	switch args[0] {
 	case "list":
 		for _, e := range bench.All() {
@@ -153,6 +146,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[profile: %d cycles attributed -> %s (folded stacks)]\n",
 			opts.Obs.Cycles.Total(), *profilePath)
 	}
+	if *timelinePath != "" {
+		if err := writeTimeline(opts.Timeline, *timelinePath); err != nil {
+			fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[timeline: %s (tidy CSV: experiment,interval,start,end,series,value)]\n", *timelinePath)
+	}
 }
 
 // checkTopo rejects topology overrides on experiments that model the
@@ -182,6 +182,11 @@ func runCompare(oldPath, newPath string) int {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		return 2
 	}
+	// Informational lines (host speed trend) print regardless of verdict
+	// but never flip the exit code.
+	for _, line := range rep.Info {
+		fmt.Fprintf(os.Stderr, "info %s: %s\n", rep.ID, line)
+	}
 	if len(rep.Regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "REGRESSION %s: %d of %d checks failed\n", rep.ID, len(rep.Regressions), rep.Checked)
 		for _, reg := range rep.Regressions {
@@ -194,32 +199,46 @@ func runCompare(oldPath, newPath string) int {
 }
 
 type runner struct {
-	opts       bench.Options
-	metricsDir string
+	opts        bench.Options
+	metricsDir  string
+	printCycles bool
 
 	// Per-run cumulative state: the obs hub accumulates across
 	// experiments, so each experiment's share is a delta.
 	prevCycles obs.CycleSnapshot
 	prevReg    obs.Snapshot
+	prevEvents uint64
 }
 
 func (r *runner) runOne(e bench.Experiment) {
+	// Host telemetry is measured here, outside the deterministic core:
+	// the simulator itself never reads the wall clock (simlint enforces
+	// that in internal/), so the artifact stays byte-stable except the
+	// clearly-marked host block.
 	start := time.Now()
 	res := e.Run(r.opts)
+	wall := time.Since(start)
+	events := r.opts.Obs.EnginesEvents() - r.prevEvents
+	r.prevEvents += events
+	eps := 0.0
+	if s := wall.Seconds(); s > 0 {
+		eps = float64(events) / s
+	}
+
 	bench.Render(os.Stdout, res)
-	fmt.Fprintf(os.Stderr, "[%s finished in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("host: %.2fs wall, %d engine events, %.3g events/sec\n\n", wall.Seconds(), events, eps)
+	fmt.Fprintf(os.Stderr, "[%s finished in %v]\n", e.ID, wall.Round(time.Millisecond))
 
-	var cycleDelta *obs.CycleSnapshot
-	if o := r.opts.Obs; o != nil {
-		cycles := o.Cycles.Snapshot()
-		reg := o.Reg.Snapshot()
-		d := cycles.Delta(r.prevCycles)
-		regDelta := reg.Delta(r.prevReg)
-		r.prevCycles, r.prevReg = cycles, reg
-		cycleDelta = &d
+	o := r.opts.Obs
+	cycles := o.Cycles.Snapshot()
+	reg := o.Reg.Snapshot()
+	cycleDelta := cycles.Delta(r.prevCycles)
+	regDelta := reg.Delta(r.prevReg)
+	r.prevCycles, r.prevReg = cycles, reg
 
+	if r.printCycles {
 		fmt.Printf("-- cycle attribution (%s, top %d) --\n", e.ID, profileTopN)
-		d.WriteTable(os.Stdout, profileTopN)
+		cycleDelta.WriteTable(os.Stdout, profileTopN)
 		printLatency(regDelta, "cpu.walk_latency", "page walk")
 		printLatency(regDelta, "mm.fault_latency", "fault service")
 		fmt.Println()
@@ -228,13 +247,11 @@ func (r *runner) runOne(e bench.Experiment) {
 	if r.metricsDir == "" {
 		return
 	}
-	var snap *obs.Snapshot
-	if r.opts.Obs != nil {
-		s := r.opts.Obs.Reg.Snapshot()
-		snap = &s
-	}
+	snap := o.Reg.Snapshot()
+	art := bench.NewArtifact(res, r.opts, &snap, &cycleDelta)
+	art.Host = &bench.HostTelemetry{WallSeconds: wall.Seconds(), Events: events, EventsPerSec: eps}
 	path := filepath.Join(r.metricsDir, "BENCH_"+e.ID+".json")
-	if err := writeArtifact(bench.NewArtifact(res, r.opts, snap, cycleDelta), path); err != nil {
+	if err := writeArtifact(art, path); err != nil {
 		fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
 		os.Exit(1)
 	}
@@ -290,11 +307,23 @@ func writeProfile(o *obs.Obs, path string) error {
 	return f.Close()
 }
 
+func writeTimeline(tl *timeline.Timeline, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := timeline.WriteCSV(f, tl.Export()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `daxbench — DaxVM (MICRO'22) evaluation reproduction
 usage:
   daxbench list
-  daxbench all [-quick] [-v] [-trace out.json] [-metrics-out dir] [-profile-out out.folded]
-  daxbench <id> [<id>...] [-quick] [-v] [-nodes n] [-placement p] [-trace out.json] [-metrics-out dir] [-profile-out out.folded]
+  daxbench all [-quick] [-v] [-trace out.json] [-metrics-out dir] [-profile-out out.folded] [-timeline-out out.csv]
+  daxbench <id> [<id>...] [-quick] [-v] [-nodes n] [-placement p] [-trace out.json] [-metrics-out dir] [-profile-out out.folded] [-timeline-out out.csv]
   daxbench -compare old.json new.json`)
 }

@@ -9,13 +9,16 @@ import (
 	"runtime/debug"
 
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/timeline"
 )
 
 // ArtifactSchema identifies the current per-experiment JSON artifact
-// format. v2 adds provenance (git_sha, config_hash) and the cycle
-// breakdown; v1 artifacts remain readable (ValidateArtifact accepts both).
+// format. v2 added provenance (git_sha, config_hash) and the cycle
+// breakdown; v3 adds the timeline section and the host telemetry block.
+// Older artifacts remain readable (ValidateArtifact accepts v1/v2/v3).
 const (
-	ArtifactSchema   = "daxvm-bench/v2"
+	ArtifactSchema   = "daxvm-bench/v3"
+	ArtifactSchemaV2 = "daxvm-bench/v2"
 	ArtifactSchemaV1 = "daxvm-bench/v1"
 )
 
@@ -23,7 +26,10 @@ const (
 // as BENCH_<id>.json. Metrics mirror Result.Metrics; Snapshot, when
 // present, is the observability registry state after the run;
 // CycleBreakdown, when present, is the cycle-attribution delta for this
-// experiment alone.
+// experiment alone; Timeline, when present, holds this experiment's
+// interval samples. Every field except Host is a pure function of the
+// build: two runs of the same binary produce byte-identical artifacts up
+// to the host block, which is measured outside the deterministic core.
 type Artifact struct {
 	Schema         string             `json:"schema"`
 	ID             string             `json:"id"`
@@ -35,6 +41,19 @@ type Artifact struct {
 	Notes          []string           `json:"notes,omitempty"`
 	Snapshot       *obs.Snapshot      `json:"snapshot,omitempty"`
 	CycleBreakdown *obs.CycleSnapshot `json:"cycle_breakdown,omitempty"`
+	Timeline       []timeline.Export  `json:"timeline,omitempty"`
+	Host           *HostTelemetry     `json:"host,omitempty"`
+}
+
+// HostTelemetry is the artifact's only wall-clock-dependent block: how
+// fast the host machine ground through the simulation. Events is the
+// deterministic engine-event count (sim.Engine.Events summed over
+// engines); WallSeconds and EventsPerSec vary run to run, which is why
+// -compare treats them as informational and never gates on them.
+type HostTelemetry struct {
+	WallSeconds  float64 `json:"wall_seconds"`
+	Events       uint64  `json:"engine_events"`
+	EventsPerSec float64 `json:"events_per_sec"`
 }
 
 // NewArtifact packages a result (and optionally the post-run registry
@@ -46,7 +65,7 @@ func NewArtifact(r *Result, o Options, snap *obs.Snapshot, cycles *obs.CycleSnap
 	if m == nil {
 		m = map[string]float64{}
 	}
-	return &Artifact{
+	a := &Artifact{
 		Schema:         ArtifactSchema,
 		ID:             r.ID,
 		Title:          r.Title,
@@ -58,6 +77,16 @@ func NewArtifact(r *Result, o Options, snap *obs.Snapshot, cycles *obs.CycleSnap
 		Snapshot:       snap,
 		CycleBreakdown: cycles,
 	}
+	if o.Timeline != nil {
+		// A shared timeline accumulates one segment per experiment; the
+		// artifact embeds only this experiment's.
+		for _, ex := range o.Timeline.Export() {
+			if ex.Segment == r.ID {
+				a.Timeline = append(a.Timeline, ex)
+			}
+		}
+	}
+	return a
 }
 
 // gitSHA resolves the source revision the binary was built from:
@@ -116,8 +145,8 @@ func ValidateArtifact(raw []byte) error {
 	if err := unmarshalField(top, "schema", &schema); err != nil {
 		return err
 	}
-	if schema != ArtifactSchema && schema != ArtifactSchemaV1 {
-		return fmt.Errorf("artifact: schema %q, want %q or %q", schema, ArtifactSchema, ArtifactSchemaV1)
+	if schema != ArtifactSchema && schema != ArtifactSchemaV2 && schema != ArtifactSchemaV1 {
+		return fmt.Errorf("artifact: schema %q, want %q, %q or %q", schema, ArtifactSchema, ArtifactSchemaV2, ArtifactSchemaV1)
 	}
 	var id, title string
 	if err := unmarshalField(top, "id", &id); err != nil {
@@ -137,8 +166,8 @@ func ValidateArtifact(raw []byte) error {
 	if err := unmarshalField(top, "metrics", &metrics); err != nil {
 		return err
 	}
-	if schema == ArtifactSchema {
-		// v2 requires provenance.
+	if schema != ArtifactSchemaV1 {
+		// v2+ requires provenance.
 		var sha, cfg string
 		if err := unmarshalField(top, "git_sha", &sha); err != nil {
 			return err
@@ -163,6 +192,34 @@ func ValidateArtifact(raw []byte) error {
 		var c obs.CycleSnapshot
 		if err := json.Unmarshal(cb, &c); err != nil {
 			return fmt.Errorf("artifact: bad cycle_breakdown: %w", err)
+		}
+	}
+	if tlRaw, ok := top["timeline"]; ok {
+		if schema != ArtifactSchema {
+			return fmt.Errorf("artifact: timeline section requires schema %q, got %q", ArtifactSchema, schema)
+		}
+		var exs []timeline.Export
+		if err := json.Unmarshal(tlRaw, &exs); err != nil {
+			return fmt.Errorf("artifact: bad timeline: %w", err)
+		}
+		for _, ex := range exs {
+			for i, iv := range ex.Intervals {
+				if iv.End < iv.Start {
+					return fmt.Errorf("artifact: timeline %q interval %d ends before it starts", ex.Segment, i)
+				}
+			}
+		}
+	}
+	if hostRaw, ok := top["host"]; ok {
+		if schema != ArtifactSchema {
+			return fmt.Errorf("artifact: host block requires schema %q, got %q", ArtifactSchema, schema)
+		}
+		var h HostTelemetry
+		if err := json.Unmarshal(hostRaw, &h); err != nil {
+			return fmt.Errorf("artifact: bad host: %w", err)
+		}
+		if h.WallSeconds < 0 || h.EventsPerSec < 0 {
+			return fmt.Errorf("artifact: negative host telemetry")
 		}
 	}
 	return nil

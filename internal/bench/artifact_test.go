@@ -6,24 +6,28 @@ import (
 	"testing"
 
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/timeline"
 )
 
 // TestArtifactSmoke runs one cheap experiment end to end and validates
-// the JSON artifact it produces against the daxvm-bench/v2 schema.
+// the JSON artifact it produces against the daxvm-bench/v3 schema.
 func TestArtifactSmoke(t *testing.T) {
 	e, ok := ByID("storage")
 	if !ok {
 		t.Fatal("storage experiment not registered")
 	}
 	o := obs.New(0)
-	r := e.Run(Options{Quick: true, Obs: o})
+	tl := timeline.New(o.Reg, o.Cycles, timeline.Config{})
+	opts := Options{Quick: true, Obs: o, Timeline: tl}
+	r := e.Run(opts)
 	if len(r.Metrics) == 0 {
 		t.Fatal("experiment produced no metrics")
 	}
 
 	snap := o.Reg.Snapshot()
 	cycles := o.Cycles.Snapshot()
-	a := NewArtifact(r, Options{Quick: true}, &snap, &cycles)
+	a := NewArtifact(r, opts, &snap, &cycles)
+	a.Host = &HostTelemetry{WallSeconds: 0.5, Events: 1000, EventsPerSec: 2000}
 	var buf bytes.Buffer
 	if err := a.WriteArtifact(&buf); err != nil {
 		t.Fatal(err)
@@ -50,6 +54,19 @@ func TestArtifactSmoke(t *testing.T) {
 	if cycles.Total == 0 || len(cycles.Leaves) == 0 {
 		t.Error("cycle breakdown empty — charge sink was not wired into boot()")
 	}
+
+	// v3: the experiment's timeline segment must land in the artifact.
+	if len(a.Timeline) == 0 {
+		t.Fatal("artifact has no timeline section")
+	}
+	for _, ex := range a.Timeline {
+		if ex.Segment != "storage" {
+			t.Errorf("foreign segment %q embedded in storage artifact", ex.Segment)
+		}
+		if len(ex.Intervals) == 0 {
+			t.Error("timeline segment has no intervals")
+		}
+	}
 }
 
 // TestValidateArtifactRejects exercises the validator's failure modes.
@@ -62,6 +79,12 @@ func TestValidateArtifactRejects(t *testing.T) {
 	validV2 := `{"schema":"daxvm-bench/v2","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"0011223344556677","metrics":{"a":1},"cycle_breakdown":{"total":10,"leaves":{"app":{"cycles":10,"count":1}}}}`
 	if err := ValidateArtifact([]byte(validV2)); err != nil {
 		t.Fatalf("valid v2 artifact rejected: %v", err)
+	}
+	validV3 := `{"schema":"daxvm-bench/v3","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"0011223344556677","metrics":{"a":1},` +
+		`"timeline":[{"segment":"x","interval_cycles":64,"intervals":[{"start_cycles":0,"end_cycles":64,"cycles":10}]}],` +
+		`"host":{"wall_seconds":0.5,"engine_events":100,"events_per_sec":200}}`
+	if err := ValidateArtifact([]byte(validV3)); err != nil {
+		t.Fatalf("valid v3 artifact rejected: %v", err)
 	}
 	cases := []struct {
 		name, raw, wantErr string
@@ -76,6 +99,12 @@ func TestValidateArtifactRejects(t *testing.T) {
 		{"v2-missing-sha", `{"schema":"daxvm-bench/v2","id":"x","title":"t","quick":true,"config_hash":"00","metrics":{}}`, `missing required field "git_sha"`},
 		{"v2-empty-confhash", `{"schema":"daxvm-bench/v2","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"","metrics":{}}`, "empty config_hash"},
 		{"v2-bad-breakdown", `{"schema":"daxvm-bench/v2","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"00","metrics":{},"cycle_breakdown":[]}`, "bad cycle_breakdown"},
+		{"v3-missing-provenance", `{"schema":"daxvm-bench/v3","id":"x","title":"t","quick":true,"metrics":{}}`, `missing required field "git_sha"`},
+		{"timeline-on-v2", `{"schema":"daxvm-bench/v2","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"00","metrics":{},"timeline":[]}`, "timeline section requires schema"},
+		{"bad-timeline", `{"schema":"daxvm-bench/v3","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"00","metrics":{},"timeline":42}`, "bad timeline"},
+		{"timeline-backwards-interval", `{"schema":"daxvm-bench/v3","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"00","metrics":{},"timeline":[{"segment":"x","interval_cycles":64,"intervals":[{"start_cycles":64,"end_cycles":0,"cycles":1}]}]}`, "ends before it starts"},
+		{"host-on-v2", `{"schema":"daxvm-bench/v2","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"00","metrics":{},"host":{"wall_seconds":1}}`, "host block requires schema"},
+		{"negative-host", `{"schema":"daxvm-bench/v3","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"00","metrics":{},"host":{"wall_seconds":-1,"engine_events":1,"events_per_sec":1}}`, "negative host"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/timeline"
 )
 
 // Options control an experiment run.
@@ -23,6 +24,11 @@ type Options struct {
 	// counters and histograms reflect the most recent boot, the trace
 	// ring accumulates across boots.
 	Obs *obs.Obs
+	// Timeline, when set, samples interval deltas from every kernel the
+	// experiment boots. Each experiment records into its own segment
+	// (Experiment.Run starts one named after the id), so a shared
+	// timeline keeps experiments separable and run-order independent.
+	Timeline *timeline.Timeline
 	// Nodes overrides the NUMA node count for topology-aware experiments
 	// (0 = experiment default). Only experiments with Topo=true accept it.
 	Nodes int
@@ -80,14 +86,24 @@ type Experiment struct {
 
 var registry []Experiment
 
+// withSegment opens a fresh timeline segment named after the experiment
+// before it runs, so every caller (CLI, tests) gets per-experiment
+// segments without remembering to start one. Nil-safe via Timeline.
+func withSegment(id string, run func(o Options) *Result) func(o Options) *Result {
+	return func(o Options) *Result {
+		o.Timeline.StartSegment(id)
+		return run(o)
+	}
+}
+
 func register(id, title string, run func(o Options) *Result) {
-	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+	registry = append(registry, Experiment{ID: id, Title: title, Run: withSegment(id, run)})
 }
 
 // registerTopo registers an experiment that understands topology
 // overrides (daxbench validates -nodes/-placement against this flag).
 func registerTopo(id, title string, run func(o Options) *Result) {
-	registry = append(registry, Experiment{ID: id, Title: title, Run: run, Topo: true})
+	registry = append(registry, Experiment{ID: id, Title: title, Run: withSegment(id, run), Topo: true})
 }
 
 // All returns the registered experiments in registration order.

@@ -46,6 +46,10 @@ type CompareReport struct {
 	ID          string
 	Regressions []Regression
 	Checked     int // metrics + cycle leaves examined
+	// Info lines are purely informational (host wall-clock speed deltas):
+	// printed by the CLI but never counted as regressions, because host
+	// speed is noise-prone and must not flip the gate's exit code.
+	Info []string
 }
 
 // lowerBetter reports whether a metric regresses by growing. Most metrics
@@ -97,6 +101,14 @@ func CompareArtifacts(oldRaw, newRaw []byte) (*CompareReport, error) {
 	}
 
 	rep := &CompareReport{ID: oa.ID}
+	// Host speed: informational only. Wall-clock varies with host load,
+	// so it reports as a trend line in CI logs, never as a regression.
+	if oa.Host != nil && na.Host != nil && oa.Host.EventsPerSec > 0 && na.Host.EventsPerSec > 0 {
+		rel := (na.Host.EventsPerSec - oa.Host.EventsPerSec) / oa.Host.EventsPerSec
+		rep.Info = append(rep.Info, fmt.Sprintf(
+			"host events/sec %.3g -> %.3g (%+.1f%%, informational)",
+			oa.Host.EventsPerSec, na.Host.EventsPerSec, 100*rel))
+	}
 	for _, name := range obs.SortedKeys(oa.Metrics) {
 		ov := oa.Metrics[name]
 		rep.Checked++

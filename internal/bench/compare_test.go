@@ -139,6 +139,44 @@ func TestCompareRefusesCrossConfig(t *testing.T) {
 	}
 }
 
+// TestCompareHostInformational checks that host-speed telemetry surfaces
+// as an info line when both artifacts carry it — and never as a
+// regression, no matter how large the slowdown: wall-clock speed depends
+// on the host machine, not the simulated system under test.
+func TestCompareHostInformational(t *testing.T) {
+	withHost := func(eps float64) func(a *Artifact) {
+		return func(a *Artifact) {
+			a.Host = &HostTelemetry{WallSeconds: 1, Events: uint64(eps), EventsPerSec: eps}
+		}
+	}
+	rep, err := CompareArtifacts(mkArtifact(t, withHost(100_000)), mkArtifact(t, withHost(10_000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("10x host slowdown gated the comparison: %v", rep.Regressions)
+	}
+	var hit bool
+	for _, s := range rep.Info {
+		if strings.Contains(s, "events/sec") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("no host events/sec info line; info = %v", rep.Info)
+	}
+
+	// One side missing host telemetry (e.g. a pre-v3 baseline): no info
+	// line, no error.
+	rep, err = CompareArtifacts(mkArtifact(t, nil), mkArtifact(t, withHost(10_000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Info) != 0 {
+		t.Fatalf("info emitted without both hosts: %v", rep.Info)
+	}
+}
+
 // TestCompareAcceptsV1Baseline keeps old baselines usable: a v1 artifact
 // has no provenance or breakdown, so only metrics are compared.
 func TestCompareAcceptsV1Baseline(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/timeline"
 )
 
 // TestRunDeterminism runs the ftcost experiment twice in one process and
@@ -21,10 +22,25 @@ func TestRunDeterminism(t *testing.T) {
 			t.Fatal("ftcost not registered")
 		}
 		o := obs.New(0)
-		res := e.Run(Options{Quick: true, Obs: o})
+		tl := timeline.New(o.Reg, o.Cycles, timeline.Config{})
+		opts := Options{Quick: true, Obs: o, Timeline: tl}
+		res := e.Run(opts)
 		snap := o.Reg.Snapshot()
 		cycles := o.Cycles.Snapshot()
-		art := NewArtifact(res, Options{Quick: true}, &snap, &cycles)
+		art := NewArtifact(res, opts, &snap, &cycles)
+		// The timeline rides the same determinism contract as everything
+		// else in the artifact: the sampler runs on virtual time, so its
+		// interval boundaries and deltas are part of the payload.
+		if len(art.Timeline) == 0 {
+			t.Fatal("artifact has no timeline section")
+		}
+		var intervals int
+		for _, ex := range art.Timeline {
+			intervals += len(ex.Intervals)
+		}
+		if intervals < 50 {
+			t.Fatalf("timeline has %d intervals, want >= 50", intervals)
+		}
 		// Pin provenance: the invariant under test is the payload, and
 		// the env-sensitive git SHA would make the assertion flaky in CI.
 		art.GitSHA = "test"

@@ -35,6 +35,7 @@ func boot(o Options, iface wl.Iface, cores int, aged bool, fs kernel.FSKind, mod
 		Age:         aged,
 		DaxVM:       iface.DaxVM,
 		Obs:         o.Obs,
+		Timeline:    o.Timeline,
 	}
 	if o.Quick {
 		cfg.DeviceBytes = 1 << 30
@@ -653,7 +654,9 @@ func runStorage(o Options) *Result {
 	if o.Quick {
 		cfg.Files = 2000
 	}
-	k := boot(Options{Obs: o.Obs}, wl.DaxVMFull, 1, false, kernel.Ext4, nil)
+	// Quick is deliberately dropped: storage always boots the full-size
+	// device (the quick knob shrinks the corpus above instead).
+	k := boot(Options{Obs: o.Obs, Timeline: o.Timeline}, wl.DaxVMFull, 1, false, kernel.Ext4, nil)
 	proc := k.NewProc()
 	var tree *corpus.Tree
 	k.Setup(func(t *sim.Thread) {

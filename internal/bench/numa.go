@@ -5,6 +5,7 @@ import (
 
 	"daxvm/internal/kernel"
 	"daxvm/internal/sim"
+	"daxvm/internal/topo"
 	"daxvm/internal/workload/corpus"
 	"daxvm/internal/workload/wl"
 )
@@ -17,19 +18,23 @@ func init() {
 var numaPlacements = []string{"local", "remote", "interleave"}
 
 // NumaSupportedPlacement reports whether the numa experiment understands
-// a -placement override (the sweep labels plus any raw policy string).
+// a -placement override: the sweep labels plus any raw policy string the
+// topology parser accepts ("bind:<n>", "local", "interleave").
 func NumaSupportedPlacement(s string) bool {
 	for _, p := range numaPlacements {
 		if s == p {
 			return true
 		}
 	}
-	return false
+	_, err := topo.ParsePolicy(s)
+	return err == nil
 }
 
 // numaPolicy maps a sweep label to the placement policy string. The
 // workload is pinned to core 0 (node 0), so "local" binds data to node 0
-// and "remote" to node 1; "interleave" round-robins allocations.
+// and "remote" to node 1; "interleave" round-robins allocations. Raw
+// policy strings ("bind:<n>") pass through unchanged rather than being
+// silently rewritten to interleave.
 func numaPolicy(label string, nodes int) string {
 	switch label {
 	case "local":
@@ -39,8 +44,10 @@ func numaPolicy(label string, nodes int) string {
 			return "bind:0"
 		}
 		return "bind:1"
-	default:
+	case "interleave":
 		return "interleave"
+	default:
+		return label
 	}
 }
 
@@ -92,6 +99,7 @@ func runNuma(o Options) *Result {
 				Placement:      policy,
 				MountPlacement: policy,
 				Obs:            o.Obs,
+				Timeline:       o.Timeline,
 			}
 			if o.Quick {
 				cfg.DeviceBytes = 512 << 20

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/timeline"
 )
 
 // TestCycleReconciliation asserts the profiler's core invariant on real
@@ -19,7 +20,8 @@ func TestCycleReconciliation(t *testing.T) {
 				t.Fatalf("%s not registered", id)
 			}
 			o := obs.New(0)
-			e.Run(Options{Quick: true, Obs: o})
+			tl := timeline.New(o.Reg, o.Cycles, timeline.Config{})
+			e.Run(Options{Quick: true, Obs: o, Timeline: tl})
 			attributed := o.Cycles.Total()
 			charged := o.EnginesTotal()
 			if attributed == 0 {
@@ -34,6 +36,18 @@ func TestCycleReconciliation(t *testing.T) {
 			snap := o.Cycles.Snapshot()
 			if u := snap.TotalOf("unattributed"); u != 0 {
 				t.Errorf("%d cycles unattributed", u)
+			}
+			// The timeline's per-interval cycle deltas must telescope back
+			// to the full account: sampling loses nothing at the seams.
+			var sampled uint64
+			for _, ex := range tl.Export() {
+				for _, iv := range ex.Intervals {
+					sampled += iv.Cycles
+				}
+			}
+			if sampled != attributed {
+				t.Fatalf("timeline intervals sum to %d cycles, account holds %d (drift %d)",
+					sampled, attributed, int64(sampled)-int64(attributed))
 			}
 		})
 	}

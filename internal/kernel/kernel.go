@@ -19,6 +19,7 @@ import (
 	"daxvm/internal/mem"
 	"daxvm/internal/mm"
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/timeline"
 	"daxvm/internal/pmem"
 	"daxvm/internal/sim"
 	"daxvm/internal/topo"
@@ -81,6 +82,12 @@ type Config struct {
 	// booted kernels (counter readers are re-registered; the trace ring
 	// accumulates).
 	Obs *obs.Obs
+	// Timeline, when set, rides a zero-cost sampler daemon on every
+	// engine this kernel runs (aging, setup, measured) and brackets each
+	// run with a flush, so per-interval cycle deltas reconcile exactly
+	// against the engines' TotalCharged. Shared across sequentially
+	// booted kernels the same way Obs is.
+	Timeline *timeline.Timeline
 }
 
 func (c Config) withDefaults() Config {
@@ -191,6 +198,9 @@ func Boot(cfg Config) *Kernel {
 
 	if cfg.Obs != nil {
 		k.wireObs(cfg.Obs)
+	} else {
+		// No hub, but a timeline sampler may still ride the main engine.
+		k.attachEngine(k.Engine)
 	}
 
 	if cfg.Age {
@@ -208,7 +218,7 @@ func Boot(cfg Config) *Kernel {
 			}
 			k.AgeReport = rep
 		})
-		setup.Run()
+		k.runEngine("age", setup)
 		k.Dev.ResetTiming()
 	}
 	return k
@@ -225,23 +235,37 @@ func (k *Kernel) Setup(fn func(t *sim.Thread)) {
 		t.PushAttr("setup")
 		fn(t)
 	})
-	e.Run()
+	k.runEngine("setup", e)
 	k.Dev.ResetTiming()
 }
 
 // attachEngine routes an auxiliary engine's charges into the hub's cycle
-// account and registers its total for reconciliation.
+// account, registers its totals for reconciliation and speed telemetry,
+// and rides the timeline sampler daemon on it.
 func (k *Kernel) attachEngine(e *sim.Engine) {
-	if k.Obs == nil || k.Obs.Cycles == nil {
-		return
+	if k.Obs != nil && k.Obs.Cycles != nil {
+		e.SetChargeSink(k.Obs.Cycles.Charge)
+		k.Obs.AddEngineTotal(e.TotalCharged)
+		k.Obs.AddEngineEvents(e.Events)
 	}
-	e.SetChargeSink(k.Obs.Cycles.Charge)
-	k.Obs.AddEngineTotal(e.TotalCharged)
+	if tl := k.Cfg.Timeline; tl != nil {
+		e.GoSampler("timeline", 0, tl.NextWake, tl.Sample)
+	}
+}
+
+// runEngine runs an engine bracketed by a timeline flush so the tail
+// interval (and the run's span mark) lands before the next run starts.
+func (k *Kernel) runEngine(label string, e *sim.Engine) uint64 {
+	end := e.Run()
+	if tl := k.Cfg.Timeline; tl != nil {
+		tl.FlushRun(label, end)
+	}
+	return end
 }
 
 // Run executes the main engine until all spawned workload threads finish,
 // returning the final virtual time in cycles.
-func (k *Kernel) Run() uint64 { return k.Engine.Run() }
+func (k *Kernel) Run() uint64 { return k.runEngine("run", k.Engine) }
 
 // allocator exposes the data-block allocator for DaxVM metadata.
 func (k *Kernel) allocator() *alloc.Allocator {

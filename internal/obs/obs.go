@@ -29,6 +29,7 @@ type Obs struct {
 
 	mu           sync.Mutex
 	engineTotals []func() uint64
+	engineEvents []func() uint64
 }
 
 // New creates an observability hub with a trace ring of traceCap events
@@ -62,6 +63,32 @@ func (o *Obs) EnginesTotal() uint64 {
 	defer o.mu.Unlock()
 	var s uint64
 	for _, fn := range o.engineTotals {
+		s += fn()
+	}
+	return s
+}
+
+// AddEngineEvents registers a reader for one engine's event count (see
+// sim.Engine.Events). The sum across engines is the deterministic
+// numerator of the host-side events/sec speed metric.
+func (o *Obs) AddEngineEvents(fn func() uint64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.engineEvents = append(o.engineEvents, fn)
+	o.mu.Unlock()
+}
+
+// EnginesEvents sums the event counts of every registered engine.
+func (o *Obs) EnginesEvents() uint64 {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var s uint64
+	for _, fn := range o.engineEvents {
 		s += fn()
 	}
 	return s

@@ -1,0 +1,132 @@
+package timeline
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"daxvm/internal/obs"
+)
+
+// Export is one segment's timeline in artifact form: window deltas only,
+// maps pruned of zero entries so committed baselines stay small.
+// encoding/json sorts map keys, so marshalling an Export is byte-stable.
+type Export struct {
+	Segment string `json:"segment,omitempty"`
+	// IntervalCycles is the final sampling period after adaptive
+	// coalescing.
+	IntervalCycles uint64     `json:"interval_cycles"`
+	Intervals      []Interval `json:"intervals"`
+	Runs           []RunMark  `json:"runs,omitempty"`
+}
+
+// Interval is one sampled window: [Start, End) in concatenated segment
+// cycles, with the window's cycle total, non-zero counter deltas,
+// histogram summaries and top-level attribution split.
+type Interval struct {
+	Start    uint64               `json:"start_cycles"`
+	End      uint64               `json:"end_cycles"`
+	Cycles   uint64               `json:"cycles"`
+	Counters map[string]uint64    `json:"counters,omitempty"`
+	Hists    map[string]HistPoint `json:"hist,omitempty"`
+	Attr     map[string]uint64    `json:"attr,omitempty"`
+}
+
+// HistPoint summarizes one histogram's window delta.
+type HistPoint struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// RunMark records one engine run's span on the segment axis.
+type RunMark struct {
+	Label string `json:"label"`
+	Start uint64 `json:"start_cycles"`
+	End   uint64 `json:"end_cycles"`
+}
+
+// Export returns every finished segment plus the in-progress one. It does
+// not end the current segment, so it may be called repeatedly.
+func (tl *Timeline) Export() []Export {
+	if tl == nil {
+		return nil
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := append([]Export(nil), tl.done...)
+	if s := tl.cur; s != nil && (len(s.intervals) > 0 || len(s.runs) > 0) {
+		out = append(out, exportSegment(s))
+	}
+	return out
+}
+
+// exportSegment converts in-progress state to artifact form.
+func exportSegment(s *segment) Export {
+	ex := Export{
+		Segment:        s.id,
+		IntervalCycles: s.period,
+		Intervals:      make([]Interval, 0, len(s.intervals)),
+		Runs:           append([]RunMark(nil), s.runs...),
+	}
+	for _, iv := range s.intervals {
+		out := Interval{Start: iv.start, End: iv.end, Cycles: iv.cyc.Total}
+		for name, v := range iv.reg.Counters {
+			if v == 0 {
+				continue
+			}
+			if out.Counters == nil {
+				out.Counters = make(map[string]uint64)
+			}
+			out.Counters[name] = v
+		}
+		for name, h := range iv.reg.Hists {
+			if h.Count == 0 {
+				continue
+			}
+			if out.Hists == nil {
+				out.Hists = make(map[string]HistPoint)
+			}
+			out.Hists[name] = HistPoint{Count: h.Count, P50: h.Quantile(0.50), P99: h.Quantile(0.99)}
+		}
+		for path, l := range iv.cyc.Leaves {
+			if out.Attr == nil {
+				out.Attr = make(map[string]uint64)
+			}
+			out.Attr[attrRoot(path)] += l.Cycles
+		}
+		ex.Intervals = append(ex.Intervals, out)
+	}
+	return ex
+}
+
+// WriteCSV writes the exports in tidy (long) form —
+// experiment,interval,start_cycles,end_cycles,series,value — one row per
+// series per interval, series sorted, ready for plotting
+// throughput-vs-p99 curves per experiment.
+func WriteCSV(w io.Writer, exports []Export) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "experiment,interval,start_cycles,end_cycles,series,value")
+	for _, ex := range exports {
+		for i, iv := range ex.Intervals {
+			row := func(series, value string) {
+				fmt.Fprintf(bw, "%s,%d,%d,%d,%s,%s\n", ex.Segment, i, iv.Start, iv.End, series, value)
+			}
+			row("cycles", strconv.FormatUint(iv.Cycles, 10))
+			for _, name := range obs.SortedKeys(iv.Counters) {
+				row(name, strconv.FormatUint(iv.Counters[name], 10))
+			}
+			for _, name := range obs.SortedKeys(iv.Hists) {
+				h := iv.Hists[name]
+				row(name+".count", strconv.FormatUint(h.Count, 10))
+				row(name+".p50", strconv.FormatFloat(h.P50, 'g', -1, 64))
+				row(name+".p99", strconv.FormatFloat(h.P99, 'g', -1, 64))
+			}
+			for _, name := range obs.SortedKeys(iv.Attr) {
+				row("attr."+name, strconv.FormatUint(iv.Attr[name], 10))
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,339 @@
+// Package timeline is the virtual-time interval sampler: a daemon thread
+// (sim.Engine.GoSampler) wakes every period cycles and records the window
+// delta of every registered counter, each latency histogram, and the
+// cycle-attribution profile since the previous sample. Sampling reads
+// snapshots only — it charges zero cycles and mutates no simulated state —
+// so a run with a timeline attached produces bit-identical metrics to one
+// without.
+//
+// Time axis. Each engine run has a local clock starting at zero; an
+// experiment segment may span several sequential runs (aging, setup
+// corpora, the measured run). The timeline concatenates them: FlushRun
+// closes the tail interval of the finished run, records a RunMark, and
+// advances the segment offset so the next run's local times continue the
+// same monotone axis.
+//
+// Interval width adapts: sampling starts at BaseInterval cycles, and
+// whenever the interval count would exceed MaxIntervals, adjacent pairs
+// merge and the period doubles — long runs settle between MaxIntervals/2
+// and MaxIntervals intervals without knowing the run length up front. The
+// schedule is a pure function of virtual time, so it is deterministic.
+package timeline
+
+import (
+	"strings"
+	"sync"
+
+	"daxvm/internal/obs"
+)
+
+// DefaultBaseInterval is the initial sampling period in virtual cycles.
+const DefaultBaseInterval = 65536
+
+// DefaultMaxIntervals caps retained intervals per segment; crossing it
+// merges adjacent pairs and doubles the period.
+const DefaultMaxIntervals = 200
+
+// Config tunes a Timeline.
+type Config struct {
+	// BaseInterval is the initial sampling period in virtual cycles
+	// (default DefaultBaseInterval).
+	BaseInterval uint64
+	// MaxIntervals bounds intervals per segment (default
+	// DefaultMaxIntervals); coalescing keeps the count in
+	// [MaxIntervals/2, MaxIntervals].
+	MaxIntervals int
+	// Tracer, when set, receives an obs.EvCounter event per sample per
+	// tracked series, rendering as Perfetto counter tracks on the same
+	// timebase as the event slices.
+	Tracer *obs.Tracer
+	// TrackCounters names the registry counters to mirror as trace
+	// counter tracks (the total cycle delta is always emitted as
+	// "cycles").
+	TrackCounters []string
+}
+
+// Timeline accumulates interval samples, one segment per experiment.
+// All methods are nil-safe.
+type Timeline struct {
+	reg *obs.Registry
+	cyc *obs.CycleAccount
+	cfg Config
+
+	mu   sync.Mutex
+	done []Export // finished segments, in StartSegment order
+	cur  *segment
+}
+
+// segment is one experiment's in-progress timeline.
+type segment struct {
+	id           string
+	period       uint64
+	offset       uint64 // absolute segment time of the current run's local zero
+	lastBoundary uint64 // absolute time of the last sample
+	intervals    []interval
+	runs         []RunMark
+	prevReg      obs.Snapshot
+	prevCyc      obs.CycleSnapshot
+}
+
+// interval holds one window's deltas (not absolute readings).
+type interval struct {
+	start, end uint64
+	reg        obs.Snapshot
+	cyc        obs.CycleSnapshot
+}
+
+// New creates a timeline sampling reg and cyc. Zero-value Config fields
+// take the package defaults.
+func New(reg *obs.Registry, cyc *obs.CycleAccount, cfg Config) *Timeline {
+	if cfg.BaseInterval == 0 {
+		cfg.BaseInterval = DefaultBaseInterval
+	}
+	if cfg.MaxIntervals == 0 {
+		cfg.MaxIntervals = DefaultMaxIntervals
+	}
+	return &Timeline{reg: reg, cyc: cyc, cfg: cfg}
+}
+
+// StartSegment finishes the current segment (if it recorded anything) and
+// begins a new one labelled id, re-baselining the delta snapshots so the
+// segment is identical whether the experiment runs alone or after others.
+func (tl *Timeline) StartSegment(id string) {
+	if tl == nil {
+		return
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.finishLocked()
+	tl.cur = tl.newSegment(id)
+}
+
+func (tl *Timeline) newSegment(id string) *segment {
+	return &segment{
+		id:      id,
+		period:  tl.cfg.BaseInterval,
+		prevReg: tl.reg.Snapshot(),
+		prevCyc: tl.cyc.Snapshot(),
+	}
+}
+
+func (tl *Timeline) finishLocked() {
+	s := tl.cur
+	tl.cur = nil
+	if s == nil || (len(s.intervals) == 0 && len(s.runs) == 0) {
+		return
+	}
+	tl.done = append(tl.done, exportSegment(s))
+}
+
+// ensureLocked lazily opens an unnamed segment so a kernel booted without
+// an explicit StartSegment still records.
+func (tl *Timeline) ensureLocked() *segment {
+	if tl.cur == nil {
+		tl.cur = tl.newSegment("")
+	}
+	return tl.cur
+}
+
+// NextWake returns the engine-local virtual time of the next sample given
+// the sampler's current local clock (sim.Engine.GoSampler's schedule
+// callback).
+func (tl *Timeline) NextWake(now uint64) uint64 {
+	if tl == nil {
+		return now + DefaultBaseInterval
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	s := tl.ensureLocked()
+	next := s.lastBoundary + s.period
+	if abs := s.offset + now; next <= abs {
+		next = abs + s.period
+	}
+	return next - s.offset
+}
+
+// Sample records one interval ending at the sampler's current local time
+// (sim.Engine.GoSampler's sample callback).
+func (tl *Timeline) Sample(now uint64) {
+	if tl == nil {
+		return
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	s := tl.ensureLocked()
+	tl.recordLocked(s, s.offset+now, now)
+}
+
+// FlushRun closes the tail interval of a finished engine run whose local
+// clock reached localEnd, marks the run's span, and advances the segment
+// offset so the next run continues the same axis. The kernel calls this
+// after every engine run (aging, setup, measured), which is what makes the
+// summed interval cycle deltas reconcile exactly against the engines'
+// TotalCharged.
+func (tl *Timeline) FlushRun(label string, localEnd uint64) {
+	if tl == nil {
+		return
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	s := tl.ensureLocked()
+	abs := s.offset + localEnd
+	tl.recordLocked(s, abs, localEnd)
+	if abs > s.offset {
+		s.runs = append(s.runs, RunMark{Label: label, Start: s.offset, End: abs})
+	}
+	s.offset = abs
+	s.lastBoundary = abs
+}
+
+// recordLocked closes the interval [s.lastBoundary, abs): it diffs the
+// current snapshots against the previous sample, emits counter-track trace
+// events at the engine-local timestamp, and appends the interval. Empty
+// windows advance the boundary without appending; a zero-width flush tail
+// (work booked at the exact sample time after the sampler ran) folds into
+// the previous interval so no cycles are lost.
+func (tl *Timeline) recordLocked(s *segment, abs, local uint64) {
+	curReg := tl.reg.Snapshot()
+	curCyc := tl.cyc.Snapshot()
+	dReg := curReg.Delta(s.prevReg)
+	dCyc := curCyc.Delta(s.prevCyc)
+	s.prevReg = curReg
+	s.prevCyc = curCyc
+	tl.emitTracks(local, dCyc, dReg)
+	if emptyDelta(dReg, dCyc) {
+		s.lastBoundary = abs
+		return
+	}
+	if abs == s.lastBoundary && len(s.intervals) > 0 {
+		last := &s.intervals[len(s.intervals)-1]
+		last.reg = mergeReg(last.reg, dReg)
+		last.cyc = mergeCyc(last.cyc, dCyc)
+		return
+	}
+	s.intervals = append(s.intervals, interval{start: s.lastBoundary, end: abs, reg: dReg, cyc: dCyc})
+	s.lastBoundary = abs
+	if len(s.intervals) > tl.cfg.MaxIntervals {
+		s.coalesce()
+	}
+}
+
+// emitTracks mirrors the window's headline deltas into the trace ring as
+// counter events. Series order is the fixed config order, never a map
+// range.
+func (tl *Timeline) emitTracks(local uint64, dCyc obs.CycleSnapshot, dReg obs.Snapshot) {
+	tr := tl.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	tr.Emit(obs.EvCounter, 0, local, 0, "cycles", dCyc.Total)
+	for _, name := range tl.cfg.TrackCounters {
+		if v, ok := dReg.Counters[name]; ok {
+			tr.Emit(obs.EvCounter, 0, local, 0, name, v)
+		}
+	}
+}
+
+// coalesce merges adjacent interval pairs and doubles the period.
+func (s *segment) coalesce() {
+	merged := make([]interval, 0, (len(s.intervals)+1)/2)
+	for i := 0; i+1 < len(s.intervals); i += 2 {
+		a, b := s.intervals[i], s.intervals[i+1]
+		merged = append(merged, interval{
+			start: a.start,
+			end:   b.end,
+			reg:   mergeReg(a.reg, b.reg),
+			cyc:   mergeCyc(a.cyc, b.cyc),
+		})
+	}
+	if len(s.intervals)%2 == 1 {
+		merged = append(merged, s.intervals[len(s.intervals)-1])
+	}
+	s.intervals = merged
+	s.period *= 2
+}
+
+// emptyDelta reports whether the window saw no activity at all.
+func emptyDelta(dReg obs.Snapshot, dCyc obs.CycleSnapshot) bool {
+	if dCyc.Total != 0 {
+		return false
+	}
+	for _, v := range dReg.Counters {
+		if v != 0 {
+			return false
+		}
+	}
+	for _, h := range dReg.Hists {
+		if h.Count != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeReg sums two window deltas.
+func mergeReg(a, b obs.Snapshot) obs.Snapshot {
+	m := obs.Snapshot{
+		Counters: make(map[string]uint64, len(a.Counters)),
+		Hists:    make(map[string]obs.HistSnapshot, len(a.Hists)),
+	}
+	for k, v := range a.Counters {
+		m.Counters[k] = v
+	}
+	for k, v := range b.Counters {
+		m.Counters[k] += v
+	}
+	for k, h := range a.Hists {
+		m.Hists[k] = h
+	}
+	for k, h := range b.Hists {
+		m.Hists[k] = mergeHist(m.Hists[k], h)
+	}
+	return m
+}
+
+// mergeHist sums two histogram window deltas bucket-wise.
+func mergeHist(a, b obs.HistSnapshot) obs.HistSnapshot {
+	out := obs.HistSnapshot{Sum: a.Sum + b.Sum, Count: a.Count + b.Count}
+	if len(a.Buckets)+len(b.Buckets) > 0 {
+		out.Buckets = make(map[int]uint64, len(a.Buckets))
+		for k, v := range a.Buckets {
+			out.Buckets[k] = v
+		}
+		for k, v := range b.Buckets {
+			out.Buckets[k] += v
+		}
+	}
+	return out
+}
+
+// mergeCyc sums two cycle-profile window deltas leaf-wise.
+func mergeCyc(a, b obs.CycleSnapshot) obs.CycleSnapshot {
+	out := obs.CycleSnapshot{Total: a.Total + b.Total, Leaves: make(map[string]obs.CycleLeaf, len(a.Leaves))}
+	for p, l := range a.Leaves {
+		out.Leaves[p] = l
+	}
+	for p, l := range b.Leaves {
+		acc := out.Leaves[p]
+		acc.Cycles += l.Cycles
+		acc.Count += l.Count
+		if len(l.ByCore) > 0 {
+			if acc.ByCore == nil {
+				acc.ByCore = make(map[int]uint64, len(l.ByCore))
+			}
+			for c, v := range l.ByCore {
+				acc.ByCore[c] += v
+			}
+		}
+		out.Leaves[p] = acc
+	}
+	return out
+}
+
+// attrRoot returns the top-level component of a dotted attribution path.
+func attrRoot(path string) string {
+	if i := strings.IndexByte(path, '.'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -25,6 +25,12 @@ const (
 	EvZombieFlush    = "zombie_flush"
 	EvMonitorMigrate = "monitor_migrate"
 	EvLockContention = "lock_contention"
+
+	// EvCounter is a sampled counter value for a Chrome counter track
+	// ("C" phase): Tag names the series, Arg carries the value at TS. The
+	// timeline sampler emits these so Perfetto plots throughput and
+	// contention curves over the same timebase as the event slices.
+	EvCounter = "counter"
 )
 
 // Event is one traced occurrence in virtual time.
@@ -133,9 +139,14 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
 		return err
 	}
-	// Name the core tracks.
+	// Name the core tracks. Counter samples render as pid-wide counter
+	// tracks keyed by series name, not as core slices, so they do not
+	// claim a tid.
 	cores := map[int]bool{}
 	for _, e := range events {
+		if e.Type == EvCounter {
+			continue
+		}
 		cores[e.Core] = true
 	}
 	ids := make([]int, 0, len(cores))
@@ -172,6 +183,14 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 	for _, e := range events {
 		var line string
+		if e.Type == EvCounter {
+			line = fmt.Sprintf(`{"name":%s,"cat":"timeline","ph":"C","ts":%s,"pid":0,"args":{"value":%d}}`,
+				strconv.Quote(e.Tag), usec(e.TS), e.Arg)
+			if err := emit(line); err != nil {
+				return err
+			}
+			continue
+		}
 		args := fmt.Sprintf(`{"cycles":%d,"arg":%d,"tag":%s}`, e.TS, e.Arg, strconv.Quote(e.Tag))
 		if e.Dur > 0 {
 			line = fmt.Sprintf(`{"name":%s,"cat":"sim","ph":"X","ts":%s,"dur":%s,"pid":0,"tid":%d,"args":%s}`,

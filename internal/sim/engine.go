@@ -34,6 +34,11 @@ type Engine struct {
 	// AddRemote on any thread. Idle and lock-wait time (wakeAt clamping in
 	// dispatch) is excluded: it is scheduling, not work.
 	charged uint64
+	// events counts scheduling pushes plus charges — a deterministic
+	// proxy for "how much the engine did", used as the numerator of the
+	// host-side events/sec speed metric. It never feeds back into
+	// simulated behaviour.
+	events uint64
 	// sink, when set, receives every charge with its attribution path
 	// (see Thread.PushAttr) — the hook the cycle profiler attaches to.
 	sink func(core int, path string, cycles uint64)
@@ -118,6 +123,25 @@ func (e *Engine) GoDaemon(name string, core int, start uint64, fn func(*Thread))
 	t.daemon = true
 	e.live--
 	return t
+}
+
+// GoSampler registers a daemon that calls fn at the virtual times chosen
+// by next (given the current clock, return the next sample time; returns
+// <= now are clamped one cycle forward so the daemon always makes
+// progress). The sampler charges no cycles and must not touch simulated
+// shared state, so its presence leaves every other thread's timeline
+// bit-identical; it is torn down with the other daemons at shutdown.
+func (e *Engine) GoSampler(name string, core int, next func(now uint64) uint64, fn func(now uint64)) *Thread {
+	return e.GoDaemon(name, core, 0, func(t *Thread) {
+		for {
+			at := next(t.Now())
+			if at <= t.Now() {
+				at = t.Now() + 1
+			}
+			t.SleepUntil(at)
+			fn(t.Now())
+		}
+	})
 }
 
 // Run executes the simulation until every non-daemon thread has exited.
@@ -215,6 +239,12 @@ func (e *Engine) SetChargeSink(fn func(core int, path string, cycles uint64)) { 
 // the quantity a cycle profile must reconcile against.
 func (e *Engine) TotalCharged() uint64 { return e.charged }
 
+// Events reports the deterministic engine-event count (scheduling pushes
+// plus charges) accumulated so far. Dividing it by host wall-clock seconds
+// yields the simulator's events/sec speed — the denominator is host time,
+// but this numerator is reproducible bit-for-bit.
+func (e *Engine) Events() uint64 { return e.events }
+
 // join returns the interned parent.label path.
 func (e *Engine) join(parent, label string) string {
 	m := e.joined[parent]
@@ -259,6 +289,7 @@ func (t *Thread) AttrPath() string {
 func (t *Thread) Charge(c uint64) {
 	t.clock += c
 	t.e.charged += c
+	t.e.events++
 	if t.e.sink != nil {
 		t.e.sink(t.Core, t.AttrPath(), c)
 	}
@@ -270,6 +301,7 @@ func (t *Thread) Charge(c uint64) {
 func (t *Thread) ChargeAs(label string, c uint64) {
 	t.clock += c
 	t.e.charged += c
+	t.e.events++
 	if t.e.sink != nil {
 		p := label
 		if n := len(t.attr); n > 0 {
@@ -285,6 +317,7 @@ func (t *Thread) ChargeAs(label string, c uint64) {
 func (t *Thread) AddRemote(path string, c uint64) {
 	t.clock += c
 	t.e.charged += c
+	t.e.events++
 	if t.e.sink != nil {
 		t.e.sink(t.Core, path, c)
 	}
@@ -453,6 +486,7 @@ func (h *threadHeap) Pop() any {
 
 func (e *Engine) push(t *Thread) {
 	e.seq++
+	e.events++
 	t.seq = e.seq
 	t.state = stateReady
 	heap.Push(&e.ready, t)

@@ -31,6 +31,7 @@ var emitMethods = map[string]bool{
 
 func run(pass *ana.Pass) error {
 	for _, f := range pass.Files {
+		emitters := collectEmitClosures(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			rng, ok := n.(*ast.RangeStmt)
 			if !ok {
@@ -43,7 +44,7 @@ func run(pass *ana.Pass) error {
 			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if call := findEmit(pass, rng.Body); call != nil {
+			if call := findEmit(pass, rng.Body, emitters); call != nil {
 				pass.Reportf(rng.Pos(), "map iteration order is random but the body writes output (%s); range over obs.SortedKeys instead", callName(call))
 			}
 			return true
@@ -52,8 +53,42 @@ func run(pass *ana.Pass) error {
 	return nil
 }
 
-// findEmit returns the first output-producing call in body, if any.
-func findEmit(pass *ana.Pass, body *ast.BlockStmt) *ast.CallExpr {
+// collectEmitClosures finds local `name := func(...) {...}` closures whose
+// body writes output, so a call to one counts as an emit. Row-writer
+// helpers like the timeline CSV exporter's `row := func(series, value)`
+// would otherwise launder a Fprintf out of the analyzer's sight.
+func collectEmitClosures(pass *ana.Pass, f *ast.File) map[types.Object]bool {
+	emitters := map[types.Object]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lit, ok := as.Rhs[0].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if findEmit(pass, lit.Body, nil) == nil {
+			return true
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			emitters[obj] = true
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			emitters[obj] = true
+		}
+		return true
+	})
+	return emitters
+}
+
+// findEmit returns the first output-producing call in body, if any:
+// fmt print/fprint calls, known emit methods, or calls to closures already
+// identified as emitters.
+func findEmit(pass *ana.Pass, body *ast.BlockStmt, emitters map[types.Object]bool) *ast.CallExpr {
 	var found *ast.CallExpr
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found != nil {
@@ -61,6 +96,13 @@ func findEmit(pass *ana.Pass, body *ast.BlockStmt) *ast.CallExpr {
 		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && emitters[obj] {
+				found = call
+				return false
+			}
 			return true
 		}
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
@@ -85,8 +127,11 @@ func findEmit(pass *ana.Pass, body *ast.BlockStmt) *ast.CallExpr {
 }
 
 func callName(call *ast.CallExpr) string {
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-		return sel.Sel.Name
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
 	}
 	return "write"
 }

@@ -43,6 +43,27 @@ func aggregateOnly(m map[string]uint64) uint64 {
 	return sum
 }
 
+// csvUnsorted mirrors the timeline CSV exporter's row-helper shape: the
+// Fprintf hides inside a local closure, but calling it from a raw map
+// range still leaks random order into the output.
+func csvUnsorted(w io.Writer, m map[string]uint64) {
+	row := func(series string, v uint64) {
+		fmt.Fprintf(w, "%s,%d\n", series, v)
+	}
+	for k, v := range m { // want `map iteration order is random but the body writes output \(row\)`
+		row(k, v)
+	}
+}
+
+func csvSorted(w io.Writer, m map[string]uint64) {
+	row := func(series string, v uint64) {
+		fmt.Fprintf(w, "%s,%d\n", series, v)
+	}
+	for _, k := range obs.SortedKeys(m) {
+		row(k, m[k])
+	}
+}
+
 func suppressedSingleton(w io.Writer, m map[string]int) {
 	//lint:ignore detmap map has exactly one key by construction
 	for k, v := range m {
