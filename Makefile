@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet lint test race smoke perf-gate baseline clean
+.PHONY: ci build fmt vet lint test race smoke perf-gate validate-baselines baseline clean
 
-ci: fmt vet lint build test race smoke perf-gate
+ci: fmt vet lint build test race smoke perf-gate validate-baselines
 
 # Experiments the perf gate runs: cheap, deterministic, and together they
 # exercise the journal, allocator, file tables and mapped-access paths.
@@ -59,6 +59,13 @@ perf-gate:
 	done; \
 	rm -rf "$$tmp"; \
 	if [ $$rc -eq 0 ]; then echo "perf-gate: ok"; else echo "perf-gate: FAILED"; fi; exit $$rc
+
+# Every committed baseline must parse and pass schema validation: a
+# hand-edited or truncated baseline would otherwise surface as a
+# confusing compare failure on someone else's branch.
+validate-baselines:
+	$(GO) run ./cmd/daxbench -validate bench/baseline/*.json
+	@echo "validate-baselines: ok"
 
 # Refresh the committed perf-gate baselines (review the diff before
 # committing: every change here is a deliberate cost-model retune).

@@ -7,6 +7,7 @@
 //	daxbench all [-quick]         # run everything
 //	daxbench <id> [...] [-quick]  # run specific experiments (fig4, table2, ...)
 //	daxbench -compare old.json new.json   # perf-regression gate
+//	daxbench -validate a.json [b.json...] # artifact schema validation
 //
 // Observability:
 //
@@ -16,6 +17,15 @@
 //	-profile-out out.folded  write the cycle profile as folded stacks
 //	                         (feed to flamegraph.pl or speedscope)
 //	-timeline-out out.csv    write per-interval timeline series as tidy CSV
+//	-spans-out out.json  write the tail-exemplar span trees as a Chrome
+//	                     trace (flow-linked slices; open in Perfetto)
+//	-exemplars N         keep the N slowest span trees per operation class
+//	                     (default 3; feeds -spans-out and the artifact's
+//	                     exemplars section)
+//
+// Export flags describe a run, so they only make sense when running
+// experiments: combining them with -compare, -validate or `list` exits 2
+// with a usage hint, as does -exemplars without a sink that uses it.
 //
 // Every experiment run also prints a host line (wall seconds and engine
 // events/sec) and embeds it in the artifact's `host` block — the only
@@ -24,7 +34,8 @@
 // Compare exits 0 when the new artifact is within tolerance of the old,
 // 1 on regression, 2 when the artifacts are not comparable (different
 // experiment or config) or unreadable. Host-speed deltas print as
-// informational lines and never affect the exit code.
+// informational lines and never affect the exit code. Validate exits 0
+// when every named artifact parses and passes schema checks, 1 otherwise.
 package main
 
 import (
@@ -35,7 +46,9 @@ import (
 	"time"
 
 	"daxvm/internal/bench"
+	"daxvm/internal/cost"
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/span"
 	"daxvm/internal/obs/timeline"
 )
 
@@ -61,19 +74,48 @@ func main() {
 	metricsDir := flag.String("metrics-out", "", "write a BENCH_<id>.json artifact per experiment into this directory")
 	profilePath := flag.String("profile-out", "", "write the run's cycle profile as folded stacks to this file")
 	timelinePath := flag.String("timeline-out", "", "write per-interval timeline series as CSV to this file")
+	spansPath := flag.String("spans-out", "", "write tail-exemplar span trees as Chrome trace-event JSON to this file")
+	exemplars := flag.Int("exemplars", 3, "slowest span trees kept per operation class (feeds -spans-out and artifact exemplars)")
 	compare := flag.Bool("compare", false, "compare two artifacts: daxbench -compare old.json new.json")
+	validate := flag.Bool("validate", false, "validate artifact files: daxbench -validate a.json [b.json...]")
 	nodes := flag.Int("nodes", 0, "NUMA node count for topology-aware experiments (0 = experiment default)")
 	placement := flag.String("placement", "", "placement policy for topology-aware experiments: local|remote|interleave|bind:<n>")
 	// Flags may appear before or after experiment ids; flag.CommandLine
 	// exits on parse errors, so the error return is unreachable here.
 	args, _ := parseInterleaved(flag.CommandLine, os.Args[1:])
 
+	// Export flags describe an experiment run; reject combinations where
+	// no run happens (-compare, -validate, `list`) instead of silently
+	// producing empty files.
+	exportFlags := exportFlagsSet(*tracePath, *metricsDir, *profilePath, *timelinePath, *spansPath)
+	exemplarsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "exemplars" {
+			exemplarsSet = true
+		}
+	})
+
+	firstArg := ""
+	if len(args) > 0 {
+		firstArg = args[0]
+	}
+	if msg := exportConflict(*compare, *validate, firstArg, exportFlags, exemplarsSet, *exemplars, *spansPath, *metricsDir); msg != "" {
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(2)
+	}
 	if *compare {
 		if len(args) != 2 {
 			fmt.Fprintln(os.Stderr, "usage: daxbench -compare old.json new.json")
 			os.Exit(2)
 		}
 		os.Exit(runCompare(args[0], args[1]))
+	}
+	if *validate {
+		if len(args) == 0 {
+			fmt.Fprintln(os.Stderr, "usage: daxbench -validate a.json [b.json...]")
+			os.Exit(2)
+		}
+		os.Exit(runValidate(args))
 	}
 	if len(args) == 0 {
 		usage()
@@ -92,20 +134,22 @@ func main() {
 	if *verbose {
 		opts.Log = os.Stderr
 	}
-	// The hub and timeline are always on: sampling charges zero simulated
-	// cycles, and the host summary needs the engine event counts. The
-	// cycle-attribution stdout table stays gated on an output flag so the
+	// The hub, timeline and span collector are always on: sampling and
+	// span bookkeeping charge zero simulated cycles, and the host summary
+	// needs the engine event counts. The cycle-attribution and
+	// critical-path stdout tables stay gated on an output flag so the
 	// default output is unchanged.
 	opts.Obs = obs.New(0)
 	opts.Timeline = timeline.New(opts.Obs.Reg, opts.Obs.Cycles, timeline.Config{
 		Tracer:        opts.Obs.Trace,
 		TrackCounters: timelineTracks,
 	})
+	opts.Spans = span.New(*exemplars)
 
 	r := &runner{
 		opts:        opts,
 		metricsDir:  *metricsDir,
-		printCycles: *tracePath != "" || *metricsDir != "" || *profilePath != "",
+		printCycles: *tracePath != "" || *metricsDir != "" || *profilePath != "" || *spansPath != "",
 	}
 	switch args[0] {
 	case "list":
@@ -152,6 +196,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "[timeline: %s (tidy CSV: experiment,interval,start,end,series,value)]\n", *timelinePath)
+	}
+	if *spansPath != "" {
+		if err := writeSpans(opts.Spans, *spansPath); err != nil {
+			fmt.Fprintf(os.Stderr, "spans: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[spans: top %d exemplars/class -> %s; open in https://ui.perfetto.dev]\n",
+			*exemplars, *spansPath)
 	}
 }
 
@@ -242,6 +294,10 @@ func (r *runner) runOne(e bench.Experiment) {
 		printLatency(regDelta, "cpu.walk_latency", "page walk")
 		printLatency(regDelta, "mm.fault_latency", "fault service")
 		fmt.Println()
+		if seg, ok := r.opts.Spans.ExportSegment(e.ID); ok {
+			span.WriteTable(os.Stdout, seg)
+			fmt.Println()
+		}
 	}
 
 	if r.metricsDir == "" {
@@ -319,11 +375,47 @@ func writeTimeline(tl *timeline.Timeline, path string) error {
 	return f.Close()
 }
 
+func writeSpans(sp *span.Collector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := span.WriteChromeTrace(f, sp.Export(), float64(cost.CyclesPerUsec)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runValidate checks every named artifact against the schema; exit 0
+// only when all pass, so `make validate-baselines` can glob the baseline
+// directory.
+func runValidate(paths []string) int {
+	code := 0
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err == nil {
+			err = bench.ValidateArtifact(raw)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "invalid %s: %v\n", p, err)
+			code = 1
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "ok %s\n", p)
+	}
+	return code
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `daxbench — DaxVM (MICRO'22) evaluation reproduction
 usage:
   daxbench list
-  daxbench all [-quick] [-v] [-trace out.json] [-metrics-out dir] [-profile-out out.folded] [-timeline-out out.csv]
-  daxbench <id> [<id>...] [-quick] [-v] [-nodes n] [-placement p] [-trace out.json] [-metrics-out dir] [-profile-out out.folded] [-timeline-out out.csv]
-  daxbench -compare old.json new.json`)
+  daxbench all [-quick] [-v] [export flags]
+  daxbench <id> [<id>...] [-quick] [-v] [-nodes n] [-placement p] [export flags]
+  daxbench -compare old.json new.json
+  daxbench -validate a.json [b.json...]
+export flags (experiment runs only):
+  -trace out.json  -metrics-out dir  -profile-out out.folded
+  -timeline-out out.csv  -spans-out out.json  -exemplars N`)
 }

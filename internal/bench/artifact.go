@@ -5,19 +5,24 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"os"
 	"runtime/debug"
 
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/span"
 	"daxvm/internal/obs/timeline"
 )
 
 // ArtifactSchema identifies the current per-experiment JSON artifact
 // format. v2 added provenance (git_sha, config_hash) and the cycle
-// breakdown; v3 adds the timeline section and the host telemetry block.
-// Older artifacts remain readable (ValidateArtifact accepts v1/v2/v3).
+// breakdown; v3 added the timeline section and the host telemetry
+// block; v4 adds the critical_path and exemplars sections from the
+// span layer. Older artifacts remain readable (ValidateArtifact
+// accepts v1–v4).
 const (
-	ArtifactSchema   = "daxvm-bench/v3"
+	ArtifactSchema   = "daxvm-bench/v4"
+	ArtifactSchemaV3 = "daxvm-bench/v3"
 	ArtifactSchemaV2 = "daxvm-bench/v2"
 	ArtifactSchemaV1 = "daxvm-bench/v1"
 )
@@ -27,22 +32,26 @@ const (
 // present, is the observability registry state after the run;
 // CycleBreakdown, when present, is the cycle-attribution delta for this
 // experiment alone; Timeline, when present, holds this experiment's
-// interval samples. Every field except Host is a pure function of the
-// build: two runs of the same binary produce byte-identical artifacts up
-// to the host block, which is measured outside the deterministic core.
+// interval samples; CriticalPath and Exemplars, when present, hold the
+// span layer's per-op-class latency decomposition and top-K slowest
+// span trees. Every field except Host is a pure function of the build:
+// two runs of the same binary produce byte-identical artifacts up to
+// the host block, which is measured outside the deterministic core.
 type Artifact struct {
-	Schema         string             `json:"schema"`
-	ID             string             `json:"id"`
-	Title          string             `json:"title"`
-	Quick          bool               `json:"quick"`
-	GitSHA         string             `json:"git_sha,omitempty"`
-	ConfigHash     string             `json:"config_hash,omitempty"`
-	Metrics        map[string]float64 `json:"metrics"`
-	Notes          []string           `json:"notes,omitempty"`
-	Snapshot       *obs.Snapshot      `json:"snapshot,omitempty"`
-	CycleBreakdown *obs.CycleSnapshot `json:"cycle_breakdown,omitempty"`
-	Timeline       []timeline.Export  `json:"timeline,omitempty"`
-	Host           *HostTelemetry     `json:"host,omitempty"`
+	Schema         string                 `json:"schema"`
+	ID             string                 `json:"id"`
+	Title          string                 `json:"title"`
+	Quick          bool                   `json:"quick"`
+	GitSHA         string                 `json:"git_sha,omitempty"`
+	ConfigHash     string                 `json:"config_hash,omitempty"`
+	Metrics        map[string]float64     `json:"metrics"`
+	Notes          []string               `json:"notes,omitempty"`
+	Snapshot       *obs.Snapshot          `json:"snapshot,omitempty"`
+	CycleBreakdown *obs.CycleSnapshot     `json:"cycle_breakdown,omitempty"`
+	Timeline       []timeline.Export      `json:"timeline,omitempty"`
+	CriticalPath   []span.ClassExport     `json:"critical_path,omitempty"`
+	Exemplars      map[string][]span.Span `json:"exemplars,omitempty"`
+	Host           *HostTelemetry         `json:"host,omitempty"`
 }
 
 // HostTelemetry is the artifact's only wall-clock-dependent block: how
@@ -84,6 +93,12 @@ func NewArtifact(r *Result, o Options, snap *obs.Snapshot, cycles *obs.CycleSnap
 			if ex.Segment == r.ID {
 				a.Timeline = append(a.Timeline, ex)
 			}
+		}
+	}
+	if o.Spans != nil {
+		if seg, ok := o.Spans.ExportSegment(r.ID); ok {
+			a.CriticalPath = seg.Classes
+			a.Exemplars = seg.Exemplars
 		}
 	}
 	return a
@@ -133,9 +148,10 @@ func (a *Artifact) WriteArtifact(w io.Writer) error {
 
 // ValidateArtifact checks raw bytes against the artifact schema:
 // required fields present with the right JSON types, schema id matching
-// (v1 or v2), metric values finite numbers. Hand-rolled — the toolchain
-// has no JSON Schema validator and the format is small enough not to
-// want one.
+// (v1–v4), metric values finite numbers, and version-gated sections
+// (timeline/host need v3+, critical_path/exemplars need v4).
+// Hand-rolled — the toolchain has no JSON Schema validator and the
+// format is small enough not to want one.
 func ValidateArtifact(raw []byte) error {
 	var top map[string]json.RawMessage
 	if err := json.Unmarshal(raw, &top); err != nil {
@@ -145,8 +161,10 @@ func ValidateArtifact(raw []byte) error {
 	if err := unmarshalField(top, "schema", &schema); err != nil {
 		return err
 	}
-	if schema != ArtifactSchema && schema != ArtifactSchemaV2 && schema != ArtifactSchemaV1 {
-		return fmt.Errorf("artifact: schema %q, want %q, %q or %q", schema, ArtifactSchema, ArtifactSchemaV2, ArtifactSchemaV1)
+	switch schema {
+	case ArtifactSchema, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1:
+	default:
+		return fmt.Errorf("artifact: schema %q, want one of %q, %q, %q, %q", schema, ArtifactSchema, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1)
 	}
 	var id, title string
 	if err := unmarshalField(top, "id", &id); err != nil {
@@ -194,9 +212,10 @@ func ValidateArtifact(raw []byte) error {
 			return fmt.Errorf("artifact: bad cycle_breakdown: %w", err)
 		}
 	}
+	v3plus := schema == ArtifactSchema || schema == ArtifactSchemaV3
 	if tlRaw, ok := top["timeline"]; ok {
-		if schema != ArtifactSchema {
-			return fmt.Errorf("artifact: timeline section requires schema %q, got %q", ArtifactSchema, schema)
+		if !v3plus {
+			return fmt.Errorf("artifact: timeline section requires schema %q or %q, got %q", ArtifactSchema, ArtifactSchemaV3, schema)
 		}
 		var exs []timeline.Export
 		if err := json.Unmarshal(tlRaw, &exs); err != nil {
@@ -211,8 +230,8 @@ func ValidateArtifact(raw []byte) error {
 		}
 	}
 	if hostRaw, ok := top["host"]; ok {
-		if schema != ArtifactSchema {
-			return fmt.Errorf("artifact: host block requires schema %q, got %q", ArtifactSchema, schema)
+		if !v3plus {
+			return fmt.Errorf("artifact: host block requires schema %q or %q, got %q", ArtifactSchema, ArtifactSchemaV3, schema)
 		}
 		var h HostTelemetry
 		if err := json.Unmarshal(hostRaw, &h); err != nil {
@@ -220,6 +239,81 @@ func ValidateArtifact(raw []byte) error {
 		}
 		if h.WallSeconds < 0 || h.EventsPerSec < 0 {
 			return fmt.Errorf("artifact: negative host telemetry")
+		}
+	}
+	if cpRaw, ok := top["critical_path"]; ok {
+		if schema != ArtifactSchema {
+			return fmt.Errorf("artifact: critical_path section requires schema %q, got %q", ArtifactSchema, schema)
+		}
+		var classes []span.ClassExport
+		if err := json.Unmarshal(cpRaw, &classes); err != nil {
+			return fmt.Errorf("artifact: bad critical_path: %w", err)
+		}
+		prev := ""
+		for i, ce := range classes {
+			if ce.Class == "" {
+				return fmt.Errorf("artifact: critical_path entry %d has empty class", i)
+			}
+			if i > 0 && ce.Class <= prev {
+				return fmt.Errorf("artifact: critical_path classes not sorted (%q after %q)", ce.Class, prev)
+			}
+			prev = ce.Class
+			if ce.Count == 0 {
+				return fmt.Errorf("artifact: critical_path class %q has zero count", ce.Class)
+			}
+			if ce.SelfCycles > ce.TotalCycles {
+				return fmt.Errorf("artifact: critical_path class %q self exceeds total", ce.Class)
+			}
+			for _, q := range []float64{ce.AvgCycles, ce.P50Cycles, ce.P99Cycles} {
+				if math.IsNaN(q) || math.IsInf(q, 0) {
+					return fmt.Errorf("artifact: critical_path class %q has non-finite quantile", ce.Class)
+				}
+			}
+		}
+	}
+	if exRaw, ok := top["exemplars"]; ok {
+		if schema != ArtifactSchema {
+			return fmt.Errorf("artifact: exemplars section requires schema %q, got %q", ArtifactSchema, schema)
+		}
+		var exs map[string][]span.Span
+		if err := json.Unmarshal(exRaw, &exs); err != nil {
+			return fmt.Errorf("artifact: bad exemplars: %w", err)
+		}
+		for class, trees := range exs {
+			if class == "" {
+				return fmt.Errorf("artifact: exemplars has empty class key")
+			}
+			for i := range trees {
+				if err := validateSpanTree(&trees[i]); err != nil {
+					return fmt.Errorf("artifact: exemplar %q[%d]: %w", class, i, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// validateSpanTree checks the structural invariants every exported span
+// tree must satisfy: self-time never exceeds duration (charges advance
+// the clock by what they book), and children nest inside the parent's
+// window (spans close LIFO on one thread).
+func validateSpanTree(s *span.Span) error {
+	if s.Class == "" {
+		return fmt.Errorf("span with empty class")
+	}
+	if s.TreeSelf > s.Dur {
+		return fmt.Errorf("span %q tree_self %d exceeds dur %d", s.Class, s.TreeSelf, s.Dur)
+	}
+	if s.Self > s.TreeSelf {
+		return fmt.Errorf("span %q self %d exceeds tree_self %d", s.Class, s.Self, s.TreeSelf)
+	}
+	for i := range s.Children {
+		c := &s.Children[i]
+		if c.Start < s.Start || c.Start+c.Dur > s.Start+s.Dur {
+			return fmt.Errorf("child %q escapes parent %q window", c.Class, s.Class)
+		}
+		if err := validateSpanTree(c); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -6,11 +6,12 @@ import (
 	"testing"
 
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/span"
 	"daxvm/internal/obs/timeline"
 )
 
 // TestArtifactSmoke runs one cheap experiment end to end and validates
-// the JSON artifact it produces against the daxvm-bench/v3 schema.
+// the JSON artifact it produces against the daxvm-bench/v4 schema.
 func TestArtifactSmoke(t *testing.T) {
 	e, ok := ByID("storage")
 	if !ok {
@@ -18,7 +19,7 @@ func TestArtifactSmoke(t *testing.T) {
 	}
 	o := obs.New(0)
 	tl := timeline.New(o.Reg, o.Cycles, timeline.Config{})
-	opts := Options{Quick: true, Obs: o, Timeline: tl}
+	opts := Options{Quick: true, Obs: o, Timeline: tl, Spans: span.New(3)}
 	r := e.Run(opts)
 	if len(r.Metrics) == 0 {
 		t.Fatal("experiment produced no metrics")
@@ -67,6 +68,20 @@ func TestArtifactSmoke(t *testing.T) {
 			t.Error("timeline segment has no intervals")
 		}
 	}
+
+	// v4: the span layer's critical-path rows and exemplar trees must
+	// land in the artifact too.
+	if len(a.CriticalPath) == 0 {
+		t.Fatal("artifact has no critical_path section")
+	}
+	if len(a.Exemplars) == 0 {
+		t.Fatal("artifact has no exemplars section")
+	}
+	for class, trees := range a.Exemplars {
+		if len(trees) == 0 || len(trees) > 3 {
+			t.Errorf("class %s kept %d exemplars, want 1..3", class, len(trees))
+		}
+	}
 }
 
 // TestValidateArtifactRejects exercises the validator's failure modes.
@@ -86,6 +101,16 @@ func TestValidateArtifactRejects(t *testing.T) {
 	if err := ValidateArtifact([]byte(validV3)); err != nil {
 		t.Fatalf("valid v3 artifact rejected: %v", err)
 	}
+	validV4 := `{"schema":"daxvm-bench/v4","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"0011223344556677","metrics":{"a":1},` +
+		`"timeline":[{"segment":"x","interval_cycles":64,"intervals":[{"start_cycles":0,"end_cycles":64,"cycles":10}]}],` +
+		`"critical_path":[{"class":"fault.minor","count":3,"total_cycles":300,"self_cycles":250,"avg_cycles":100,"p50_cycles":96,"p99_cycles":128},` +
+		`{"class":"syscall.read","count":2,"total_cycles":400,"self_cycles":400,"avg_cycles":200,"p50_cycles":192,"p99_cycles":256}],` +
+		`"exemplars":{"fault.minor":[{"class":"fault.minor","core":0,"start_cycles":10,"dur_cycles":120,"self_cycles":80,"tree_self_cycles":110,` +
+		`"children":[{"class":"fault.alloc","core":0,"start_cycles":20,"dur_cycles":30,"self_cycles":30,"tree_self_cycles":30}]}]}}`
+	if err := ValidateArtifact([]byte(validV4)); err != nil {
+		t.Fatalf("valid v4 artifact rejected: %v", err)
+	}
+	v4head := `{"schema":"daxvm-bench/v4","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"00","metrics":{},`
 	cases := []struct {
 		name, raw, wantErr string
 	}{
@@ -105,6 +130,16 @@ func TestValidateArtifactRejects(t *testing.T) {
 		{"timeline-backwards-interval", `{"schema":"daxvm-bench/v3","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"00","metrics":{},"timeline":[{"segment":"x","interval_cycles":64,"intervals":[{"start_cycles":64,"end_cycles":0,"cycles":1}]}]}`, "ends before it starts"},
 		{"host-on-v2", `{"schema":"daxvm-bench/v2","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"00","metrics":{},"host":{"wall_seconds":1}}`, "host block requires schema"},
 		{"negative-host", `{"schema":"daxvm-bench/v3","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"00","metrics":{},"host":{"wall_seconds":-1,"engine_events":1,"events_per_sec":1}}`, "negative host"},
+		{"critical-path-on-v3", `{"schema":"daxvm-bench/v3","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"00","metrics":{},"critical_path":[]}`, "critical_path section requires schema"},
+		{"exemplars-on-v3", `{"schema":"daxvm-bench/v3","id":"x","title":"t","quick":true,"git_sha":"abc","config_hash":"00","metrics":{},"exemplars":{}}`, "exemplars section requires schema"},
+		{"bad-critical-path", v4head + `"critical_path":42}`, "bad critical_path"},
+		{"critical-path-empty-class", v4head + `"critical_path":[{"class":"","count":1,"total_cycles":1,"self_cycles":1,"avg_cycles":1,"p50_cycles":1,"p99_cycles":1}]}`, "empty class"},
+		{"critical-path-unsorted", v4head + `"critical_path":[{"class":"b","count":1,"total_cycles":1,"self_cycles":1,"avg_cycles":1,"p50_cycles":1,"p99_cycles":1},{"class":"a","count":1,"total_cycles":1,"self_cycles":1,"avg_cycles":1,"p50_cycles":1,"p99_cycles":1}]}`, "not sorted"},
+		{"critical-path-zero-count", v4head + `"critical_path":[{"class":"a","count":0,"total_cycles":1,"self_cycles":1,"avg_cycles":1,"p50_cycles":1,"p99_cycles":1}]}`, "zero count"},
+		{"critical-path-self-over-total", v4head + `"critical_path":[{"class":"a","count":1,"total_cycles":10,"self_cycles":11,"avg_cycles":1,"p50_cycles":1,"p99_cycles":1}]}`, "self exceeds total"},
+		{"bad-exemplars", v4head + `"exemplars":[]}`, "bad exemplars"},
+		{"exemplar-self-over-dur", v4head + `"exemplars":{"a":[{"class":"a","core":0,"start_cycles":0,"dur_cycles":10,"self_cycles":11,"tree_self_cycles":11}]}}`, "exceeds dur"},
+		{"exemplar-child-escapes", v4head + `"exemplars":{"a":[{"class":"a","core":0,"start_cycles":10,"dur_cycles":10,"self_cycles":5,"tree_self_cycles":10,"children":[{"class":"b","core":0,"start_cycles":15,"dur_cycles":10,"self_cycles":5,"tree_self_cycles":5}]}]}}`, "escapes parent"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/span"
 	"daxvm/internal/obs/timeline"
 )
 
@@ -29,6 +30,10 @@ type Options struct {
 	// (Experiment.Run starts one named after the id), so a shared
 	// timeline keeps experiments separable and run-order independent.
 	Timeline *timeline.Timeline
+	// Spans, when set, collects per-operation span trees (critical-path
+	// breakdown, tail exemplars) from every kernel the experiment
+	// boots. Segmented per experiment like the timeline.
+	Spans *span.Collector
 	// Nodes overrides the NUMA node count for topology-aware experiments
 	// (0 = experiment default). Only experiments with Topo=true accept it.
 	Nodes int
@@ -82,22 +87,40 @@ type Experiment struct {
 	// Topo marks experiments that accept topology overrides
 	// (Options.Nodes / Options.Placement).
 	Topo bool
+	// LowerBetter, when set, reports whether a regression gate should
+	// treat an increase in the named metric as a regression (costs,
+	// latencies, byte counts) rather than an improvement (throughput).
+	// Direction metadata lives here, on the registration, so the
+	// compare logic never needs a hard-coded experiment-id table.
+	LowerBetter func(metric string) bool
 }
 
 var registry []Experiment
 
-// withSegment opens a fresh timeline segment named after the experiment
-// before it runs, so every caller (CLI, tests) gets per-experiment
-// segments without remembering to start one. Nil-safe via Timeline.
+// withSegment opens a fresh timeline and span segment named after the
+// experiment before it runs, so every caller (CLI, tests) gets
+// per-experiment segments without remembering to start one. Nil-safe
+// via Timeline/Spans.
 func withSegment(id string, run func(o Options) *Result) func(o Options) *Result {
 	return func(o Options) *Result {
 		o.Timeline.StartSegment(id)
+		o.Spans.StartSegment(id)
 		return run(o)
 	}
 }
 
 func register(id, title string, run func(o Options) *Result) {
 	registry = append(registry, Experiment{ID: id, Title: title, Run: withSegment(id, run)})
+}
+
+// registerCost registers an experiment whose metrics are all costs:
+// lower is better for every one of them (overheads, storage bytes,
+// maintenance cycles).
+func registerCost(id, title string, run func(o Options) *Result) {
+	registry = append(registry, Experiment{
+		ID: id, Title: title, Run: withSegment(id, run),
+		LowerBetter: func(string) bool { return true },
+	})
 }
 
 // registerTopo registers an experiment that understands topology

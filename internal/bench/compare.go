@@ -52,14 +52,16 @@ type CompareReport struct {
 	Info []string
 }
 
-// lowerBetter reports whether a metric regresses by growing. Most metrics
-// are throughputs (higher better); the exceptions are cost-shaped:
-// per-walk cycles (table2), maintenance overhead percentages, storage
-// footprints, and boot latency.
+// lowerBetter reports whether a metric regresses by growing. The
+// experiment registration is the source of truth (Experiment.LowerBetter,
+// set by registerCost for all-cost experiments); for artifacts from
+// experiments this binary doesn't know — old baselines, renamed ids —
+// metric-name conventions decide: overhead percentages, storage
+// footprints, and boot latency are costs, everything else is
+// throughput-shaped (higher better).
 func lowerBetter(id, metric string) bool {
-	switch id {
-	case "table2", "storage":
-		return true
+	if e, ok := ByID(id); ok && e.LowerBetter != nil {
+		return e.LowerBetter(metric)
 	}
 	switch {
 	case strings.HasPrefix(metric, "overhead-pct"),

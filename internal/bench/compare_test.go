@@ -177,6 +177,77 @@ func TestCompareHostInformational(t *testing.T) {
 	}
 }
 
+// TestLowerBetterFromRegistry pins the direction metadata to the
+// experiment registration: registerCost experiments report every metric
+// as lower-is-better, an experiment with a custom LowerBetter is
+// consulted per metric, and unknown ids (old baselines from renamed
+// experiments) fall back to the metric-name conventions.
+func TestLowerBetterFromRegistry(t *testing.T) {
+	// The real cost experiments are registered via registerCost.
+	for _, id := range []string{"table2", "storage"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		if e.LowerBetter == nil || !e.LowerBetter("anything") {
+			t.Fatalf("experiment %q not registered as all-cost", id)
+		}
+		if !lowerBetter(id, "walk-cycles") {
+			t.Fatalf("lowerBetter(%q) ignored the registration", id)
+		}
+	}
+
+	// A per-metric LowerBetter is consulted, not a blanket answer.
+	saved := registry
+	t.Cleanup(func() { registry = saved })
+	registry = append(registry, Experiment{
+		ID: "mixed-test", Title: "t",
+		LowerBetter: func(metric string) bool { return metric == "lat-cycles" },
+	})
+	if !lowerBetter("mixed-test", "lat-cycles") {
+		t.Fatal("cost metric not lower-better")
+	}
+	if lowerBetter("mixed-test", "throughput") {
+		t.Fatal("throughput metric treated as cost")
+	}
+
+	// Unknown id: name conventions still apply.
+	if !lowerBetter("no-such-experiment", "overhead-pct/4M") {
+		t.Fatal("convention fallback lost")
+	}
+	if lowerBetter("no-such-experiment", "64K/daxvm") {
+		t.Fatal("throughput metric flagged lower-better for unknown id")
+	}
+}
+
+// TestCompareUsesRegisteredDirection is the end-to-end check: a metric
+// on a registerCost experiment growing past tolerance regresses even
+// though its name matches no cost-shaped convention.
+func TestCompareUsesRegisteredDirection(t *testing.T) {
+	mk := func(walk float64) []byte {
+		return mkArtifact(t, func(a *Artifact) {
+			a.ID = "table2"
+			a.ConfigHash = configHash("table2", true, 0, "")
+			a.Metrics = map[string]float64{"4K/walk-cycles": walk}
+			a.CycleBreakdown = nil
+		})
+	}
+	rep, err := CompareArtifacts(mk(100), mk(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Name != "4K/walk-cycles" {
+		t.Fatalf("growing cost not flagged: %v", rep.Regressions)
+	}
+	rep, err = CompareArtifacts(mk(100), mk(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("shrinking cost flagged: %v", rep.Regressions)
+	}
+}
+
 // TestCompareAcceptsV1Baseline keeps old baselines usable: a v1 artifact
 // has no provenance or breakdown, so only metrics are compared.
 func TestCompareAcceptsV1Baseline(t *testing.T) {

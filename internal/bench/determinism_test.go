@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/span"
 	"daxvm/internal/obs/timeline"
 )
 
@@ -23,7 +24,8 @@ func TestRunDeterminism(t *testing.T) {
 		}
 		o := obs.New(0)
 		tl := timeline.New(o.Reg, o.Cycles, timeline.Config{})
-		opts := Options{Quick: true, Obs: o, Timeline: tl}
+		sp := span.New(3)
+		opts := Options{Quick: true, Obs: o, Timeline: tl, Spans: sp}
 		res := e.Run(opts)
 		snap := o.Reg.Snapshot()
 		cycles := o.Cycles.Snapshot()
@@ -40,6 +42,15 @@ func TestRunDeterminism(t *testing.T) {
 		}
 		if intervals < 50 {
 			t.Fatalf("timeline has %d intervals, want >= 50", intervals)
+		}
+		// The span sections ride the same contract: critical-path rows and
+		// exemplar trees (including which ops the reservoir kept) are part
+		// of the byte-compared payload below.
+		if len(art.CriticalPath) == 0 {
+			t.Fatal("artifact has no critical_path section")
+		}
+		if len(art.Exemplars) == 0 {
+			t.Fatal("artifact has no exemplars section")
 		}
 		// Pin provenance: the invariant under test is the payload, and
 		// the env-sensitive git SHA would make the assertion flaky in CI.

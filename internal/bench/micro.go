@@ -19,11 +19,11 @@ func init() {
 	register("fig4", "Read-once (ephemeral) file access vs file size (Fig. 1a/4)", runFig4)
 	register("fig1b", "Read-once throughput scalability, 32 KiB files (Fig. 1b)", runFig1b)
 	register("fig5", "Repetitive access over a large file (Fig. 1c/5)", runFig5)
-	register("table2", "Average page-walk cycles: DRAM vs PMem file tables (Table II)", runTable2)
+	registerCost("table2", "Average page-walk cycles: DRAM vs PMem file tables (Table II)", runTable2)
 	register("fig6", "Kernel- vs user-space syncing (Fig. 6)", runFig6)
 	register("fig7", "Append operations: zeroing and interfaces (Fig. 7)", runFig7)
 	register("ftcost", "File-table maintenance overhead on appends (§V-B)", runFTCost)
-	register("storage", "File-table storage overheads on a source tree (§V-B)", runStorage)
+	registerCost("storage", "File-table storage overheads on a source tree (§V-B)", runStorage)
 }
 
 // boot builds a machine tailored to one interface.
@@ -36,6 +36,7 @@ func boot(o Options, iface wl.Iface, cores int, aged bool, fs kernel.FSKind, mod
 		DaxVM:       iface.DaxVM,
 		Obs:         o.Obs,
 		Timeline:    o.Timeline,
+		Spans:       o.Spans,
 	}
 	if o.Quick {
 		cfg.DeviceBytes = 1 << 30
@@ -656,7 +657,7 @@ func runStorage(o Options) *Result {
 	}
 	// Quick is deliberately dropped: storage always boots the full-size
 	// device (the quick knob shrinks the corpus above instead).
-	k := boot(Options{Obs: o.Obs, Timeline: o.Timeline}, wl.DaxVMFull, 1, false, kernel.Ext4, nil)
+	k := boot(Options{Obs: o.Obs, Timeline: o.Timeline, Spans: o.Spans}, wl.DaxVMFull, 1, false, kernel.Ext4, nil)
 	proc := k.NewProc()
 	var tree *corpus.Tree
 	k.Setup(func(t *sim.Thread) {

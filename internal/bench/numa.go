@@ -100,6 +100,7 @@ func runNuma(o Options) *Result {
 				MountPlacement: policy,
 				Obs:            o.Obs,
 				Timeline:       o.Timeline,
+				Spans:          o.Spans,
 			}
 			if o.Quick {
 				cfg.DeviceBytes = 512 << 20

@@ -8,6 +8,7 @@ import (
 	"daxvm/internal/cost"
 	"daxvm/internal/mem"
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/span"
 	"daxvm/internal/pt"
 	"daxvm/internal/sim"
 	"daxvm/internal/tlb"
@@ -25,8 +26,10 @@ type Set struct {
 	// Topo is the machine's NUMA layout (nil = flat single-node).
 	Topo *topo.Topology
 
-	// Trace receives TLB-shootdown events (nil = disabled).
+	// Trace receives TLB-shootdown events; Spans opens a causal span
+	// per shootdown with its IPI cost typed as wait. Nil = disabled.
 	Trace *obs.Tracer
+	Spans *span.Collector
 }
 
 // NewSet creates n cores on a flat single-node machine.
@@ -288,6 +291,8 @@ func (s *Set) Shootdown(t *sim.Thread, initiator *Core, targets []*Core, kind Sh
 	began := t.Now()
 	t.PushAttr("shootdown")
 	defer t.PopAttr()
+	s.Spans.Begin(t, "shootdown")
+	defer s.Spans.End(t)
 	var tag string
 	var nPages uint64
 	switch kind {

@@ -4,6 +4,7 @@ import (
 	"daxvm/internal/cost"
 	"daxvm/internal/mem"
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/span"
 	"daxvm/internal/pmem"
 	"daxvm/internal/sim"
 )
@@ -23,8 +24,10 @@ type Journal struct {
 	pendingBlocks uint64
 	commitHooks   []func(t *sim.Thread)
 
-	// Trace receives journal-commit events (nil = disabled).
+	// Trace receives journal-commit events; Spans opens a causal span
+	// per commit (see SetSpans). Nil = disabled.
 	Trace *obs.Tracer
+	Spans *span.Collector
 
 	Stats JournalStats
 }
@@ -60,6 +63,20 @@ func (j *Journal) OnCommit(fn func(t *sim.Thread)) {
 	j.commitHooks = append(j.commitHooks, fn)
 }
 
+// SetSpans attaches the span collector: every commit opens a
+// "journal.commit" span, and time parked on the contended commit lock
+// books as journal_flush wait inside it. Nil detaches cleanly.
+func (j *Journal) SetSpans(sp *span.Collector) {
+	j.Spans = sp
+	if sp == nil {
+		j.mu.OnContended = nil
+		return
+	}
+	j.mu.OnContended = func(t *sim.Thread, kind string, waitStart, blocked uint64) {
+		sp.Wait(t, span.WaitJournal, blocked)
+	}
+}
+
 // Commit forces the running transaction to media. It serializes on the
 // journal lock, writes the pending metadata blocks to the log with
 // nt-stores and fences.
@@ -67,6 +84,8 @@ func (j *Journal) Commit(t *sim.Thread) {
 	began := t.Now()
 	t.PushAttr("journal.commit")
 	defer t.PopAttr()
+	j.Spans.Begin(t, span.ClassJournalCommit)
+	defer j.Spans.End(t)
 	j.mu.Lock(t, cost.SemAcquireFast)
 	n := j.pendingBlocks
 	j.pendingBlocks = 0

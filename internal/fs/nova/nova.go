@@ -13,6 +13,7 @@ import (
 	"daxvm/internal/fs/alloc"
 	"daxvm/internal/fs/vfs"
 	"daxvm/internal/mem"
+	"daxvm/internal/obs/span"
 	"daxvm/internal/pmem"
 	"daxvm/internal/sim"
 )
@@ -45,6 +46,10 @@ type FS struct {
 	inodes  map[vfs.Ino]*inode
 	nextIno vfs.Ino
 	dirLock sim.SpinLock
+
+	// Spans, when set, opens a causal span per synchronous log append
+	// (nil = disabled).
+	Spans *span.Collector
 
 	logArea mem.PhysAddr
 	logOff  uint64
@@ -104,6 +109,8 @@ func (f *FS) SetTrustZeroed(on bool) { f.trustZeroed = on }
 // logAppend models one synchronous metadata log entry: an nt-stored,
 // fenced record. This is why NOVA needs no MAP_SYNC faults.
 func (f *FS) logAppend(t *sim.Thread) {
+	f.Spans.Begin(t, "nova.log_append")
+	defer f.Spans.End(t)
 	f.Stats.LogAppends++
 	t.ChargeAs("log_append", cost.NovaLogAppend)
 	if f.logOff+mem.CacheLineSize > f.logCap {

@@ -19,6 +19,7 @@ import (
 	"daxvm/internal/mem"
 	"daxvm/internal/mm"
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/span"
 	"daxvm/internal/obs/timeline"
 	"daxvm/internal/pmem"
 	"daxvm/internal/sim"
@@ -88,6 +89,13 @@ type Config struct {
 	// against the engines' TotalCharged. Shared across sequentially
 	// booted kernels the same way Obs is.
 	Timeline *timeline.Timeline
+	// Spans, when set, opens a causal span per top-level operation
+	// (syscalls, faults, data-path accesses, journal commits, NOVA log
+	// appends, TLB shootdowns) on every engine this kernel runs, with
+	// typed wait kinds and self-time that reconciles exactly against
+	// the cycle account. Shared across sequentially booted kernels the
+	// same way Obs is.
+	Spans *span.Collector
 }
 
 func (c Config) withDefaults() Config {
@@ -165,13 +173,16 @@ func Boot(cfg Config) *Kernel {
 	}
 	k.Cpus.SetTopology(tp)
 	k.placement = topo.MustParsePolicy(cfg.Placement)
+	k.Cpus.Spans = cfg.Spans
 
 	switch cfg.FS {
 	case Nova:
 		f := nova.Mkfs(nova.Config{Dev: k.Dev})
+		f.Spans = cfg.Spans
 		k.FS = &novaFS{f}
 	default:
 		f := ext4.Mkfs(ext4.Config{Dev: k.Dev, JournalBytes: 128 << 20})
+		f.Journal().SetSpans(cfg.Spans)
 		k.FS = &ext4FS{f}
 	}
 
@@ -247,6 +258,9 @@ func (k *Kernel) attachEngine(e *sim.Engine) {
 		e.SetChargeSink(k.Obs.Cycles.Charge)
 		k.Obs.AddEngineTotal(e.TotalCharged)
 		k.Obs.AddEngineEvents(e.Events)
+	}
+	if sp := k.Cfg.Spans; sp != nil {
+		e.SetChargeObserver(sp.Observe)
 	}
 	if tl := k.Cfg.Timeline; tl != nil {
 		e.GoSampler("timeline", 0, tl.NextWake, tl.Sample)
@@ -324,11 +338,16 @@ func (k *Kernel) NewProc() *Proc {
 		}
 	}
 	if k.Obs != nil {
-		tr := k.Obs.Trace
-		p.MM.Trace = tr
+		p.MM.Trace = k.Obs.Trace
 		p.MM.FaultHist = k.faultHist
-		p.MM.Sem.OnContended = func(t *sim.Thread, kind string, waitStart uint64) {
+	}
+	p.MM.Spans = k.Cfg.Spans
+	if k.Obs != nil || k.Cfg.Spans != nil {
+		tr := p.MM.Trace
+		sp := k.Cfg.Spans
+		p.MM.Sem.OnContended = func(t *sim.Thread, kind string, waitStart, blocked uint64) {
 			tr.Emit(obs.EvLockContention, t.Core, waitStart, t.Now()-waitStart, "mmap_sem/"+kind, 0)
+			sp.Wait(t, span.WaitMmapSem, blocked)
 		}
 	}
 	k.procs = append(k.procs, p)
@@ -348,22 +367,26 @@ func (p *Proc) Spawn(name string, coreID int, start uint64, fn func(t *sim.Threa
 
 // --- system calls -----------------------------------------------------------
 
-// sysEnter opens the syscall's attribution frame ("syscall.<name>", nested
-// under the thread's current path) and charges the entry crossing; the
-// returned func charges the exit crossing and closes the frame. Use as
-// `defer sysEnter(t, "open")()`.
-func sysEnter(t *sim.Thread, name string) func() {
-	t.PushAttr("syscall." + name)
+// sysEnter opens the syscall's attribution frame and span ("syscall.<name>",
+// nested under the thread's current path) and charges the entry crossing;
+// the returned func charges the exit crossing and closes both. Use as
+// `defer p.sysEnter(t, "open")()`.
+func (p *Proc) sysEnter(t *sim.Thread, name string) func() {
+	cls := "syscall." + name
+	t.PushAttr(cls)
+	sp := p.K.Cfg.Spans
+	sp.Begin(t, cls)
 	t.Charge(cost.UserKernelCrossing + cost.SyscallDispatch)
 	return func() {
 		t.Charge(cost.UserKernelCrossing)
+		sp.End(t)
 		t.PopAttr()
 	}
 }
 
 // Open opens an existing file.
 func (p *Proc) Open(t *sim.Thread, path string) (int, error) {
-	defer sysEnter(t, "open")()
+	defer p.sysEnter(t, "open")()
 	t.Charge(cost.OpenPath)
 	in, err := p.K.ICache.Open(t, path)
 	if err != nil {
@@ -378,7 +401,7 @@ func (p *Proc) Open(t *sim.Thread, path string) (int, error) {
 
 // Create makes and opens a new file.
 func (p *Proc) Create(t *sim.Thread, path string) (int, error) {
-	defer sysEnter(t, "create")()
+	defer p.sysEnter(t, "create")()
 	t.Charge(cost.OpenPath)
 	in, err := p.K.ICache.Create(t, path)
 	if err != nil {
@@ -393,7 +416,7 @@ func (p *Proc) Create(t *sim.Thread, path string) (int, error) {
 
 // Close drops the descriptor.
 func (p *Proc) Close(t *sim.Thread, fd int) error {
-	defer sysEnter(t, "close")()
+	defer p.sysEnter(t, "close")()
 	t.Charge(cost.CloseFixed)
 	f, ok := p.fds[fd]
 	if !ok {
@@ -409,7 +432,7 @@ func (p *Proc) Inode(fd int) *vfs.Inode { return p.fds[fd].In }
 
 // Read reads from the current position.
 func (p *Proc) Read(t *sim.Thread, fd int, buf []byte) (uint64, error) {
-	defer sysEnter(t, "read")()
+	defer p.sysEnter(t, "read")()
 	t.Charge(cost.ReadWriteFixed)
 	f, ok := p.fds[fd]
 	if !ok {
@@ -422,7 +445,7 @@ func (p *Proc) Read(t *sim.Thread, fd int, buf []byte) (uint64, error) {
 
 // ReadAt reads at an absolute offset.
 func (p *Proc) ReadAt(t *sim.Thread, fd int, off uint64, buf []byte) (uint64, error) {
-	defer sysEnter(t, "pread")()
+	defer p.sysEnter(t, "pread")()
 	t.Charge(cost.ReadWriteFixed)
 	f, ok := p.fds[fd]
 	if !ok {
@@ -433,7 +456,7 @@ func (p *Proc) ReadAt(t *sim.Thread, fd int, off uint64, buf []byte) (uint64, er
 
 // Append writes at end of file.
 func (p *Proc) Append(t *sim.Thread, fd int, data []byte) error {
-	defer sysEnter(t, "append")()
+	defer p.sysEnter(t, "append")()
 	t.Charge(cost.ReadWriteFixed)
 	f, ok := p.fds[fd]
 	if !ok {
@@ -444,7 +467,7 @@ func (p *Proc) Append(t *sim.Thread, fd int, data []byte) error {
 
 // WriteAt overwrites existing bytes.
 func (p *Proc) WriteAt(t *sim.Thread, fd int, off uint64, data []byte) error {
-	defer sysEnter(t, "pwrite")()
+	defer p.sysEnter(t, "pwrite")()
 	t.Charge(cost.ReadWriteFixed)
 	f, ok := p.fds[fd]
 	if !ok {
@@ -455,7 +478,7 @@ func (p *Proc) WriteAt(t *sim.Thread, fd int, off uint64, data []byte) error {
 
 // Fallocate reserves blocks.
 func (p *Proc) Fallocate(t *sim.Thread, fd int, off, n uint64) error {
-	defer sysEnter(t, "fallocate")()
+	defer p.sysEnter(t, "fallocate")()
 	f, ok := p.fds[fd]
 	if !ok {
 		return fmt.Errorf("kernel: bad fd %d", fd)
@@ -465,7 +488,7 @@ func (p *Proc) Fallocate(t *sim.Thread, fd int, off, n uint64) error {
 
 // Ftruncate resizes.
 func (p *Proc) Ftruncate(t *sim.Thread, fd int, size uint64) error {
-	defer sysEnter(t, "ftruncate")()
+	defer p.sysEnter(t, "ftruncate")()
 	f, ok := p.fds[fd]
 	if !ok {
 		return fmt.Errorf("kernel: bad fd %d", fd)
@@ -475,7 +498,7 @@ func (p *Proc) Ftruncate(t *sim.Thread, fd int, size uint64) error {
 
 // Fsync commits the file.
 func (p *Proc) Fsync(t *sim.Thread, fd int) error {
-	defer sysEnter(t, "fsync")()
+	defer p.sysEnter(t, "fsync")()
 	f, ok := p.fds[fd]
 	if !ok {
 		return fmt.Errorf("kernel: bad fd %d", fd)
@@ -486,7 +509,7 @@ func (p *Proc) Fsync(t *sim.Thread, fd int) error {
 
 // Unlink removes a file.
 func (p *Proc) Unlink(t *sim.Thread, path string) error {
-	defer sysEnter(t, "unlink")()
+	defer p.sysEnter(t, "unlink")()
 	ino, err := p.K.FS.LookupPath(t, path)
 	if err != nil {
 		return err
@@ -507,7 +530,7 @@ func (p *Proc) Unlink(t *sim.Thread, path string) error {
 
 // Mmap is the POSIX mmap(2) path.
 func (p *Proc) Mmap(t *sim.Thread, c *cpu.Core, fd int, off, length uint64, perm mem.Perm, flags mm.MapFlags) (mem.VirtAddr, error) {
-	defer sysEnter(t, "mmap")()
+	defer p.sysEnter(t, "mmap")()
 	f, ok := p.fds[fd]
 	if !ok {
 		return 0, fmt.Errorf("kernel: bad fd %d", fd)
@@ -522,7 +545,7 @@ func (p *Proc) Mmap(t *sim.Thread, c *cpu.Core, fd int, off, length uint64, perm
 
 // Munmap is munmap(2).
 func (p *Proc) Munmap(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, length uint64) error {
-	defer sysEnter(t, "munmap")()
+	defer p.sysEnter(t, "munmap")()
 	// Identify the inode to drop the mapping reference.
 	p.MM.Sem.RLock(t, 0)
 	v := p.MM.FindVMA(t, va)
@@ -536,13 +559,13 @@ func (p *Proc) Munmap(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, length uint64
 
 // Msync is msync(2).
 func (p *Proc) Msync(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, length uint64) error {
-	defer sysEnter(t, "msync")()
+	defer p.sysEnter(t, "msync")()
 	return p.MM.Msync(t, c, va, length)
 }
 
 // Mprotect is mprotect(2).
 func (p *Proc) Mprotect(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, length uint64, perm mem.Perm) error {
-	defer sysEnter(t, "mprotect")()
+	defer p.sysEnter(t, "mprotect")()
 	if p.Dax != nil {
 		p.MM.Sem.RLock(t, 0)
 		v := p.MM.FindVMA(t, va)
@@ -556,7 +579,7 @@ func (p *Proc) Mprotect(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, length uint
 
 // DaxvmMmap is daxvm_mmap(2).
 func (p *Proc) DaxvmMmap(t *sim.Thread, c *cpu.Core, fd int, off, length uint64, perm mem.Perm, flags core.Flags) (mem.VirtAddr, error) {
-	defer sysEnter(t, "daxvm_mmap")()
+	defer p.sysEnter(t, "daxvm_mmap")()
 	if p.Dax == nil {
 		return 0, fmt.Errorf("kernel: DaxVM not enabled")
 	}
@@ -574,7 +597,7 @@ func (p *Proc) DaxvmMmap(t *sim.Thread, c *cpu.Core, fd int, off, length uint64,
 
 // DaxvmMunmap is daxvm_munmap(2).
 func (p *Proc) DaxvmMunmap(t *sim.Thread, c *cpu.Core, va mem.VirtAddr) error {
-	defer sysEnter(t, "daxvm_munmap")()
+	defer p.sysEnter(t, "daxvm_munmap")()
 	p.MM.Sem.RLock(t, 0)
 	v := p.MM.FindVMA(t, va)
 	p.MM.Sem.RUnlock(t, 0)
@@ -625,6 +648,9 @@ func (k AccessKind) isWrite() bool { return k == KindNTWrite || k == KindCachedW
 func (p *Proc) AccessMapped(t *sim.Thread, c *cpu.Core, va mem.VirtAddr, n uint64, kind AccessKind) error {
 	t.PushAttr("access")
 	defer t.PopAttr()
+	sp := p.K.Cfg.Spans
+	sp.Begin(t, "access")
+	defer sp.End(t)
 	if err := p.MM.Access(t, c, va, n, kind.isWrite(), kind.perPage()); err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ import (
 	"daxvm/internal/fs/vfs"
 	"daxvm/internal/mem"
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/span"
 	"daxvm/internal/pt"
 	"daxvm/internal/radix"
 	"daxvm/internal/rbtree"
@@ -91,9 +92,11 @@ type MM struct {
 	DaxWPFault func(t *sim.Thread, core *cpu.Core, v *VMA, va mem.VirtAddr) error
 
 	// Trace receives VM events (faults, mmap/munmap, msync); FaultHist
-	// records end-to-end fault service latency. Both nil = disabled.
+	// records end-to-end fault service latency; Spans opens a causal
+	// span per fault with its wait decomposition. All nil = disabled.
 	Trace     *obs.Tracer
 	FaultHist *obs.Histogram
+	Spans     *span.Collector
 
 	Stats Stats
 }
@@ -366,7 +369,9 @@ func (m *MM) tryHuge(t *sim.Thread, v *VMA, va, end mem.VirtAddr, chargeFault bo
 func (m *MM) PageFault(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, write bool) error {
 	began := t.Now()
 	t.PushAttr("fault.minor")
+	m.Spans.Begin(t, "fault.minor")
 	err := m.pageFault(t, core, va, write)
+	m.Spans.End(t)
 	t.PopAttr()
 	cycles := t.Now() - began
 	m.FaultHist.Observe(cycles)
@@ -445,7 +450,9 @@ func (m *MM) installPTE(t *sim.Thread, va mem.VirtAddr, phys uint64, perm mem.Pe
 func (m *MM) WPFault(t *sim.Thread, core *cpu.Core, va mem.VirtAddr) error {
 	began := t.Now()
 	t.PushAttr("fault.wp")
+	m.Spans.Begin(t, "fault.wp")
 	err := m.wpFault(t, core, va)
+	m.Spans.End(t)
 	t.PopAttr()
 	cycles := t.Now() - began
 	m.FaultHist.Observe(cycles)

@@ -1,0 +1,146 @@
+package span
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"daxvm/internal/obs"
+)
+
+// WriteChromeTrace exports the exemplar span trees of every segment as
+// Chrome trace-event JSON, viewable in Perfetto next to the simulator's
+// event trace: same timebase (virtual cycles over cyclesPerUsec), same
+// track convention (pid 0, tid = simulated core). Each exemplar renders
+// as nested "X" slices, and each multi-span exemplar additionally
+// carries one flow (s/t/f chain) so Perfetto highlights the whole
+// causal tree when any slice is selected. Output is deterministic:
+// segments in run order, classes sorted, exemplars slowest-first.
+func WriteChromeTrace(w io.Writer, segs []SegmentExport, cyclesPerUsec float64) error {
+	if cyclesPerUsec <= 0 {
+		cyclesPerUsec = 2700
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.WriteString(s)
+		return err
+	}
+	usec := func(cycles uint64) string {
+		return strconv.FormatFloat(float64(cycles)/cyclesPerUsec, 'f', 3, 64)
+	}
+	// Name the core tracks that carry exemplar slices.
+	cores := map[int]bool{}
+	for _, seg := range segs {
+		for _, trees := range seg.Exemplars {
+			for _, t := range trees {
+				collectCores(&t, cores)
+			}
+		}
+	}
+	ids := make([]int, 0, len(cores))
+	for c := range cores {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+	for _, c := range ids {
+		meta := fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"core %d"}}`, c, c)
+		if err := emit(meta); err != nil {
+			return err
+		}
+	}
+	flowID := 0
+	for _, seg := range segs {
+		for _, class := range obs.SortedKeys(seg.Exemplars) {
+			for rank, tree := range seg.Exemplars[class] {
+				flowID++
+				if err := writeTree(emit, usec, &tree, seg.Segment, rank, flowID); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func collectCores(s *Span, cores map[int]bool) {
+	cores[s.Core] = true
+	for i := range s.Children {
+		collectCores(&s.Children[i], cores)
+	}
+}
+
+// writeTree emits one exemplar: its slices in pre-order plus, when the
+// tree has more than one span, a flow chain binding them together.
+func writeTree(emit func(string) error, usec func(uint64) string, root *Span, segment string, rank, flowID int) error {
+	var nodes []*Span
+	var walk func(*Span)
+	walk = func(s *Span) {
+		nodes = append(nodes, s)
+		for i := range s.Children {
+			walk(&s.Children[i])
+		}
+	}
+	walk(root)
+	for _, s := range nodes {
+		args := fmt.Sprintf(`{"segment":%s,"rank":%d,"self_cycles":%d,"tree_self_cycles":%d%s}`,
+			strconv.Quote(segment), rank, s.Self, s.TreeSelf, waitArgs(s.Waits))
+		line := fmt.Sprintf(`{"name":%s,"cat":"exemplar","ph":"X","ts":%s,"dur":%s,"pid":0,"tid":%d,"args":%s}`,
+			strconv.Quote(s.Class), usec(s.Start), usec(s.Dur), s.Core, args)
+		if err := emit(line); err != nil {
+			return err
+		}
+	}
+	if len(nodes) < 2 {
+		return nil
+	}
+	for i, s := range nodes {
+		ph := "t"
+		switch i {
+		case 0:
+			ph = "s"
+		case len(nodes) - 1:
+			ph = "f"
+		}
+		bp := ""
+		if ph == "f" {
+			bp = `,"bp":"e"`
+		}
+		line := fmt.Sprintf(`{"name":%s,"cat":"exemplar_flow","ph":%q,"id":%d,"ts":%s,"pid":0,"tid":%d%s}`,
+			strconv.Quote(root.Class), ph, flowID, usec(s.Start), s.Core, bp)
+		if err := emit(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waitArgs renders a span's wait decomposition as deterministic JSON
+// (sorted keys), or nothing when empty.
+func waitArgs(waits map[string]uint64) string {
+	if len(waits) == 0 {
+		return ""
+	}
+	s := `,"waits":{`
+	for i, k := range obs.SortedKeys(waits) {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%s:%d", strconv.Quote(k), waits[k])
+	}
+	return s + "}"
+}

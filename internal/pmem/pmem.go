@@ -188,6 +188,8 @@ func (d *Device) Read(t *sim.Thread, addr mem.PhysAddr, buf []byte) {
 		t.PushAttr(d.attrs[node])
 		defer t.PopAttr()
 		if extra := d.remoteExtra(t, node, cost.RemotePMemReadExtraPerPage, n); extra > 0 {
+			// "remote_read"/"remote_write" labels double as the span
+			// layer's remote_numa wait kind.
 			t.ChargeAs("remote_read", extra)
 		}
 	}
@@ -450,7 +452,9 @@ type tokenBucket struct {
 }
 
 // consume books an n-byte transfer on the channel, charges any stall to
-// t, and returns the stall cycles for the caller's statistics.
+// t, and returns the stall cycles for the caller's statistics. The
+// "bw_stall" label is load-bearing beyond profiling: the span layer
+// (internal/obs/span) classifies it as the pmem_bw wait kind.
 func consume(t *sim.Thread, busyUntil *uint64, n uint64, rate float64) uint64 {
 	// Synchronization point: the shared channel state must be touched in
 	// virtual-time order or threads that never block would serialize

@@ -42,6 +42,12 @@ type Engine struct {
 	// sink, when set, receives every charge with its attribution path
 	// (see Thread.PushAttr) — the hook the cycle profiler attaches to.
 	sink func(core int, path string, cycles uint64)
+	// observer, when set, additionally receives every charge together
+	// with the charging thread — the hook the span layer attaches to.
+	// remote marks cycles booked onto this thread by another thread
+	// (AddRemote): they belong to the target's timeline but not to any
+	// operation the target itself is executing.
+	observer func(t *Thread, path string, cycles uint64, remote bool)
 	// joined interns parent+"."+label concatenations. Attribution paths
 	// are drawn from a small fixed set, but frames open and charges label
 	// millions of times per run; without interning the resulting garbage
@@ -233,6 +239,15 @@ func (t *Thread) Now() uint64 { return t.clock }
 // engine (with its attribution path and core) to fn. Pass nil to detach.
 func (e *Engine) SetChargeSink(fn func(core int, path string, cycles uint64)) { e.sink = fn }
 
+// SetChargeObserver routes every subsequent charge, together with the
+// thread it books onto, to fn (nil detaches). The span layer attaches
+// here: unlike the sink it needs thread identity to resolve the open
+// span stack. remote is true for AddRemote bookings, which advance the
+// target thread's clock without being work that thread initiated.
+func (e *Engine) SetChargeObserver(fn func(t *Thread, path string, cycles uint64, remote bool)) {
+	e.observer = fn
+}
+
 // TotalCharged reports the cycles booked through Charge/ChargeAs/AddRemote
 // across all threads so far. Because dispatch clamps idle threads forward
 // without charging, this is exactly the engine's total simulated work —
@@ -290,24 +305,35 @@ func (t *Thread) Charge(c uint64) {
 	t.clock += c
 	t.e.charged += c
 	t.e.events++
-	if t.e.sink != nil {
-		t.e.sink(t.Core, t.AttrPath(), c)
+	if t.e.sink != nil || t.e.observer != nil {
+		p := t.AttrPath()
+		if t.e.sink != nil {
+			t.e.sink(t.Core, p, c)
+		}
+		if t.e.observer != nil {
+			t.e.observer(t, p, c, false)
+		}
 	}
 }
 
 // ChargeAs books c under a one-shot child of the current frame — the cheap
 // way to label leaf costs (walk kinds, nt-stores) without stack churn. The
-// path string is only built when a sink is attached.
+// path string is only built when a sink or observer is attached.
 func (t *Thread) ChargeAs(label string, c uint64) {
 	t.clock += c
 	t.e.charged += c
 	t.e.events++
-	if t.e.sink != nil {
+	if t.e.sink != nil || t.e.observer != nil {
 		p := label
 		if n := len(t.attr); n > 0 {
 			p = t.e.join(t.attr[n-1], label)
 		}
-		t.e.sink(t.Core, p, c)
+		if t.e.sink != nil {
+			t.e.sink(t.Core, p, c)
+		}
+		if t.e.observer != nil {
+			t.e.observer(t, p, c, false)
+		}
 	}
 }
 
@@ -320,6 +346,9 @@ func (t *Thread) AddRemote(path string, c uint64) {
 	t.e.events++
 	if t.e.sink != nil {
 		t.e.sink(t.Core, path, c)
+	}
+	if t.e.observer != nil {
+		t.e.observer(t, path, c, true)
 	}
 }
 

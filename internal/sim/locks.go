@@ -10,9 +10,12 @@ type LockStats struct {
 
 // ContentionFn observes one contended acquisition after the wait ends:
 // kind names the lock flavour ("mutex", "spinlock", "read", "write"), and
-// the wait spanned [waitStart, t.Now()). Wired by the kernel to the
-// observability tracer; nil costs one branch.
-type ContentionFn func(t *Thread, kind string, waitStart uint64)
+// the wait spanned [waitStart, t.Now()). blocked is the pure uncharged
+// gap the thread spent parked — the wait window minus any wakeup cost
+// charged on resume — which is what the span layer books as lock-wait
+// time. Wired by the kernel to the observability tracer and span
+// collector; nil costs one branch.
+type ContentionFn func(t *Thread, kind string, waitStart, blocked uint64)
 
 // Mutex is a sleeping virtual-time mutex (FIFO). Waiters block and pay a
 // scheduler wakeup cost when resumed, mirroring a kernel sleeping lock.
@@ -47,11 +50,12 @@ func (m *Mutex) Lock(t *Thread, acqCost uint64) {
 	m.waiters = append(m.waiters, t)
 	t.Block("mutex")
 	// Ownership was transferred to us by Unlock.
+	blocked := t.Now() - start
 	t.Charge(m.wakeCost)
 	m.Stats.WaitCycles += t.Now() - start
 	m.acquiredAt = t.Now()
 	if m.OnContended != nil {
-		m.OnContended(t, "mutex", start)
+		m.OnContended(t, "mutex", start, blocked)
 	}
 }
 
@@ -105,7 +109,7 @@ func (s *SpinLock) Lock(t *Thread, acqCost uint64) {
 	s.Stats.WaitCycles += t.Now() - start
 	s.acquiredAt = t.Now()
 	if s.OnContended != nil {
-		s.OnContended(t, "spinlock", start)
+		s.OnContended(t, "spinlock", start, t.Now()-start)
 	}
 }
 
@@ -179,10 +183,11 @@ func (s *RWSem) RLock(t *Thread, acqCost uint64) {
 	start := t.Now()
 	s.queue = append(s.queue, semWaiter{t, false})
 	t.Block("rwsem-read")
+	blocked := t.Now() - start
 	t.Charge(s.wakeCost)
 	s.ReaderStats.WaitCycles += t.Now() - start
 	if s.OnContended != nil {
-		s.OnContended(t, "read", start)
+		s.OnContended(t, "read", start, blocked)
 	}
 }
 
@@ -213,11 +218,12 @@ func (s *RWSem) Lock(t *Thread, acqCost uint64) {
 	start := t.Now()
 	s.queue = append(s.queue, semWaiter{t, true})
 	t.Block("rwsem-write")
+	blocked := t.Now() - start
 	t.Charge(s.wakeCost)
 	s.Stats.WaitCycles += t.Now() - start
 	s.acquiredAt = t.Now()
 	if s.OnContended != nil {
-		s.OnContended(t, "write", start)
+		s.OnContended(t, "write", start, blocked)
 	}
 }
 

@@ -40,10 +40,11 @@ func TestLockStatsContention(t *testing.T) {
 				kind      string
 				waitStart uint64
 				end       uint64
+				blocked   uint64
 			}
 			var seen []contention
-			l.setOnContended(func(th *Thread, kind string, waitStart uint64) {
-				seen = append(seen, contention{kind, waitStart, th.Now()})
+			l.setOnContended(func(th *Thread, kind string, waitStart, blocked uint64) {
+				seen = append(seen, contention{kind, waitStart, th.Now(), blocked})
 			})
 			e.Go("a", 0, 0, func(th *Thread) {
 				l.Lock(th, 0)
@@ -82,7 +83,42 @@ func TestLockStatsContention(t *testing.T) {
 			if seen[0].waitStart != 10 || seen[0].end != 100 {
 				t.Errorf("contention window = [%d,%d), want [10,100)", seen[0].waitStart, seen[0].end)
 			}
+			// With wakeCost 0 the whole window is uncharged park time.
+			if seen[0].blocked != 90 {
+				t.Errorf("blocked = %d, want 90", seen[0].blocked)
+			}
 		})
+	}
+}
+
+// TestContentionBlockedExcludesWakeCost pins the contract the span layer
+// relies on: blocked is the uncharged park gap only, while WaitCycles
+// keeps including the wakeup charge paid on resume.
+func TestContentionBlockedExcludesWakeCost(t *testing.T) {
+	e := New()
+	m := NewMutex(7)
+	var blocked, end uint64
+	m.OnContended = func(th *Thread, kind string, waitStart, b uint64) {
+		blocked, end = b, th.Now()
+	}
+	e.Go("a", 0, 0, func(th *Thread) {
+		m.Lock(th, 0)
+		th.Charge(100)
+		m.Unlock(th, 0)
+	})
+	e.Go("b", 1, 10, func(th *Thread) {
+		m.Lock(th, 0)
+		m.Unlock(th, 0)
+	})
+	e.Run()
+	if blocked != 90 {
+		t.Errorf("blocked = %d, want 90 (park gap without the wake charge)", blocked)
+	}
+	if end != 107 {
+		t.Errorf("hook fired at t=%d, want 107 (after the wake charge)", end)
+	}
+	if m.Stats.WaitCycles != 97 {
+		t.Errorf("WaitCycles = %d, want 97 (gap + wake cost)", m.Stats.WaitCycles)
 	}
 }
 
@@ -93,7 +129,7 @@ func TestRWSemReaderStats(t *testing.T) {
 	e := New()
 	s := NewRWSem(0)
 	var kinds []string
-	s.OnContended = func(th *Thread, kind string, waitStart uint64) {
+	s.OnContended = func(th *Thread, kind string, waitStart, blocked uint64) {
 		kinds = append(kinds, kind)
 	}
 	e.Go("w", 0, 0, func(th *Thread) {

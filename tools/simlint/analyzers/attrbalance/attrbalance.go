@@ -6,263 +6,21 @@
 // silently misattributes every later cycle of the thread, corrupting
 // the cycle-accounting invariant the perf gate reconciles.
 //
-// Two shapes legitimately leave a frame open and are accepted without
-// suppression: a function literal passed directly to Engine.Go /
-// Engine.GoDaemon / Proc.Spawn (thread-root frames live until the
-// thread exits), and a function whose final statement is an infinite
-// `for { ... }` (daemon loops never return).
+// The pairing engine (accepted idioms, branch/loop net-balance rules)
+// lives in the shared balance package; spanbalance applies the same
+// engine to span.Collector.Begin/End.
 package attrbalance
 
 import (
-	"go/ast"
-	"go/token"
-	"go/types"
-
-	"daxvm/tools/simlint/ana"
+	"daxvm/tools/simlint/analyzers/balance"
 )
 
 // Analyzer is the attribution-frame balance check.
-var Analyzer = &ana.Analyzer{
-	Name: "attrbalance",
-	Doc:  "require every sim PushAttr to be closed by PopAttr on all return paths",
-	Run:  run,
-}
-
-// threadSpawners are the methods whose func-literal argument runs as a
-// thread body and may therefore open a root frame it never closes.
-var threadSpawners = map[string]bool{"Go": true, "GoDaemon": true, "Spawn": true}
-
-func run(pass *ana.Pass) error {
-	if pass.Pkg.Name() == "sim" {
-		// The engine implements the frame stack; it does not use it.
-		return nil
-	}
-	for _, f := range pass.Files {
-		v := &visitor{pass: pass}
-		v.classifyLits(f)
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if ok && fd.Body != nil {
-				v.checkFunc(fd.Body, false)
-			}
-		}
-	}
-	return nil
-}
-
-type visitor struct {
-	pass *ana.Pass
-	// rootLit marks func literals passed directly to a thread spawner.
-	rootLit map[*ast.FuncLit]bool
-	// returnedLit marks func literals that are return results; their
-	// pops are credited at the return site, not analyzed standalone.
-	returnedLit map[*ast.FuncLit]bool
-}
-
-func (v *visitor) classifyLits(f *ast.File) {
-	v.rootLit = map[*ast.FuncLit]bool{}
-	v.returnedLit = map[*ast.FuncLit]bool{}
-	ast.Inspect(f, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && threadSpawners[sel.Sel.Name] {
-				for _, arg := range n.Args {
-					if lit, ok := arg.(*ast.FuncLit); ok {
-						v.rootLit[lit] = true
-					}
-				}
-			}
-		case *ast.ReturnStmt:
-			for _, res := range n.Results {
-				if lit, ok := res.(*ast.FuncLit); ok {
-					v.returnedLit[lit] = true
-				}
-			}
-		}
-		return true
-	})
-}
-
-// state tracks the open-frame balance along one control-flow prefix.
-type state struct {
-	open     int
-	deferred int
-	pushPos  []token.Pos
-}
-
-func (s *state) clone() state {
-	c := *s
-	c.pushPos = append([]token.Pos(nil), s.pushPos...)
-	return c
-}
-
-// checkFunc analyzes one function body. allowRoot accepts a trailing
-// open frame (thread-root bodies).
-func (v *visitor) checkFunc(body *ast.BlockStmt, allowRoot bool) {
-	st := &state{}
-	v.checkStmts(body.List, st)
-	// Also analyze nested literals this body owns (skipping the ones
-	// credited or rooted elsewhere).
-	ast.Inspect(body, func(n ast.Node) bool {
-		lit, ok := n.(*ast.FuncLit)
-		if !ok {
-			return true
-		}
-		if v.rootLit[lit] {
-			v.checkFunc(lit.Body, true)
-		} else if !v.returnedLit[lit] {
-			v.checkFunc(lit.Body, false)
-		}
-		return false // literals analyze their own nested literals
-	})
-	if allowRoot || ana.Terminates(body.List) || ana.EndsWithForever(body.List) {
-		return
-	}
-	if open := st.open - st.deferred; open > 0 {
-		pos := body.Pos()
-		if n := len(st.pushPos); n > 0 {
-			pos = st.pushPos[n-1]
-		}
-		v.pass.Reportf(pos, "PushAttr frame is still open when the function returns; add a defer PopAttr or pop on every path")
-	} else if open < 0 {
-		v.pass.Reportf(body.Pos(), "deferred PopAttr without a matching PushAttr")
-	}
-}
-
-func (v *visitor) checkStmts(stmts []ast.Stmt, st *state) {
-	for _, s := range stmts {
-		v.checkStmt(s, st)
-	}
-}
-
-func (v *visitor) checkStmt(s ast.Stmt, st *state) {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			switch {
-			case v.isAttrCall(call, "PushAttr"):
-				st.open++
-				st.pushPos = append(st.pushPos, call.Pos())
-			case v.isAttrCall(call, "PopAttr"):
-				if st.open > 0 {
-					st.open--
-					st.pushPos = st.pushPos[:len(st.pushPos)-1]
-				} else {
-					v.pass.Reportf(call.Pos(), "PopAttr without an open PushAttr frame on this path")
-				}
-			}
-		}
-	case *ast.DeferStmt:
-		if v.isAttrCall(s.Call, "PopAttr") {
-			st.deferred++
-		} else if v.isAttrCall(s.Call, "PushAttr") {
-			v.pass.Reportf(s.Pos(), "PushAttr in a defer opens a frame after the function body ran")
-		}
-	case *ast.ReturnStmt:
-		credit := 0
-		for _, res := range s.Results {
-			if lit, ok := res.(*ast.FuncLit); ok {
-				credit += v.popCredit(lit)
-			}
-		}
-		if open := st.open - st.deferred - credit; open > 0 {
-			v.pass.Reportf(s.Pos(), "return leaves %d attribution frame(s) open (PushAttr without PopAttr on this path)", open)
-		}
-	case *ast.IfStmt:
-		v.branch(s.Body.List, st, s.Body.Pos())
-		switch e := s.Else.(type) {
-		case *ast.BlockStmt:
-			v.branch(e.List, st, e.Pos())
-		case *ast.IfStmt:
-			v.branch([]ast.Stmt{e}, st, e.Pos())
-		}
-	case *ast.ForStmt:
-		v.loop(s.Body.List, st, s.Pos())
-	case *ast.RangeStmt:
-		v.loop(s.Body.List, st, s.Pos())
-	case *ast.BlockStmt:
-		v.checkStmts(s.List, st)
-	case *ast.SwitchStmt:
-		v.caseClauses(s.Body, st)
-	case *ast.TypeSwitchStmt:
-		v.caseClauses(s.Body, st)
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				v.branch(cc.Body, st, cc.Pos())
-			}
-		}
-	case *ast.LabeledStmt:
-		v.checkStmt(s.Stmt, st)
-	}
-}
-
-func (v *visitor) caseClauses(body *ast.BlockStmt, st *state) {
-	for _, c := range body.List {
-		if cc, ok := c.(*ast.CaseClause); ok {
-			v.branch(cc.Body, st, cc.Pos())
-		}
-	}
-}
-
-// branch analyzes a conditional block: a terminating branch may do what
-// it likes (its returns were checked); a fall-through branch must leave
-// the balance unchanged.
-func (v *visitor) branch(stmts []ast.Stmt, st *state, pos token.Pos) {
-	saved := st.clone()
-	v.checkStmts(stmts, st)
-	if ana.Terminates(stmts) {
-		*st = saved
-		return
-	}
-	// Compare the NET balance (open minus deferred): a branch that both
-	// pushes a frame and defers its pop — the conditional-attribution
-	// idiom `if multi { t.PushAttr(x); defer t.PopAttr() }` — closes the
-	// frame on every path out of the function and is sound.
-	if st.open-st.deferred != saved.open-saved.deferred {
-		v.pass.Reportf(pos, "attribution frame opened or closed on only one side of a branch")
-		*st = saved
-	}
-}
-
-// loop analyzes a loop body: each iteration must preserve the balance.
-func (v *visitor) loop(stmts []ast.Stmt, st *state, pos token.Pos) {
-	saved := st.clone()
-	v.checkStmts(stmts, st)
-	if !ana.Terminates(stmts) && st.open != saved.open {
-		v.pass.Reportf(pos, "loop iteration changes the attribution frame balance")
-	}
-	*st = saved
-}
-
-// popCredit counts the net frame pops a returned closure performs.
-func (v *visitor) popCredit(lit *ast.FuncLit) int {
-	net := 0
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
-			return false
-		}
-		if call, ok := n.(*ast.CallExpr); ok {
-			if v.isAttrCall(call, "PopAttr") {
-				net++
-			} else if v.isAttrCall(call, "PushAttr") {
-				net--
-			}
-		}
-		return true
-	})
-	if net < 0 {
-		return 0
-	}
-	return net
-}
-
-// isAttrCall reports whether call invokes sim.Thread's name method.
-func (v *visitor) isAttrCall(call *ast.CallExpr, name string) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != name {
-		return false
-	}
-	fn, _ := v.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	return fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == "sim"
-}
+var Analyzer = balance.New(balance.Config{
+	Name:    "attrbalance",
+	Doc:     "require every sim PushAttr to be closed by PopAttr on all return paths",
+	ImplPkg: "sim",
+	Open:    "PushAttr",
+	Close:   "PopAttr",
+	Noun:    "attribution frame",
+})

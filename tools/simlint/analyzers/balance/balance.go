@@ -1,0 +1,291 @@
+// Package balance is the shared engine behind the open/close pairing
+// analyzers: attrbalance (sim.Thread.PushAttr/PopAttr) and spanbalance
+// (span.Collector.Begin/End). Both invariants have the same shape —
+// every open must be matched by a close on all paths out of the
+// function — and the same accepted idioms: a dominating `defer close`,
+// an explicit close before each return, or a close inside a closure the
+// function returns (the sysEnter idiom, where the caller defers the
+// closure).
+//
+// Two shapes legitimately leave the pair open and are accepted without
+// suppression: a function literal passed directly to Engine.Go /
+// Engine.GoDaemon / Proc.Spawn (thread-root opens live until the thread
+// exits), and a function whose final statement is an infinite
+// `for { ... }` (daemon loops never return). Branches are checked on
+// NET balance (opens minus deferred closes), so the conditional idiom
+// `if x { open(); defer close() }` passes.
+package balance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"daxvm/tools/simlint/ana"
+)
+
+// Config parameterizes one pairing analyzer.
+type Config struct {
+	Name string // analyzer name
+	Doc  string
+	// ImplPkg is the package (by name) that implements the pair; it is
+	// skipped entirely — the implementation maintains the stack, it does
+	// not use it.
+	ImplPkg string
+	// Open and Close are the method names forming the pair; calls match
+	// when the method is defined in a package named ImplPkg.
+	Open, Close string
+	// Noun names the tracked thing in diagnostics ("attribution frame",
+	// "span").
+	Noun string
+}
+
+// New builds a pairing analyzer from the config.
+func New(cfg Config) *ana.Analyzer {
+	return &ana.Analyzer{
+		Name: cfg.Name,
+		Doc:  cfg.Doc,
+		Run: func(pass *ana.Pass) error {
+			return run(pass, cfg)
+		},
+	}
+}
+
+// threadSpawners are the methods whose func-literal argument runs as a
+// thread body and may therefore open a root pair it never closes.
+var threadSpawners = map[string]bool{"Go": true, "GoDaemon": true, "Spawn": true}
+
+func run(pass *ana.Pass, cfg Config) error {
+	if pass.Pkg.Name() == cfg.ImplPkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		v := &visitor{pass: pass, cfg: cfg}
+		v.classifyLits(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				v.checkFunc(fd.Body, false)
+			}
+		}
+	}
+	return nil
+}
+
+type visitor struct {
+	pass *ana.Pass
+	cfg  Config
+	// rootLit marks func literals passed directly to a thread spawner.
+	rootLit map[*ast.FuncLit]bool
+	// returnedLit marks func literals that are return results; their
+	// closes are credited at the return site, not analyzed standalone.
+	returnedLit map[*ast.FuncLit]bool
+}
+
+func (v *visitor) classifyLits(f *ast.File) {
+	v.rootLit = map[*ast.FuncLit]bool{}
+	v.returnedLit = map[*ast.FuncLit]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && threadSpawners[sel.Sel.Name] {
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						v.rootLit[lit] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if lit, ok := res.(*ast.FuncLit); ok {
+					v.returnedLit[lit] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// state tracks the open balance along one control-flow prefix.
+type state struct {
+	open     int
+	deferred int
+	openPos  []token.Pos
+}
+
+func (s *state) clone() state {
+	c := *s
+	c.openPos = append([]token.Pos(nil), s.openPos...)
+	return c
+}
+
+// checkFunc analyzes one function body. allowRoot accepts a trailing
+// open pair (thread-root bodies).
+func (v *visitor) checkFunc(body *ast.BlockStmt, allowRoot bool) {
+	st := &state{}
+	v.checkStmts(body.List, st)
+	// Also analyze nested literals this body owns (skipping the ones
+	// credited or rooted elsewhere).
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if v.rootLit[lit] {
+			v.checkFunc(lit.Body, true)
+		} else if !v.returnedLit[lit] {
+			v.checkFunc(lit.Body, false)
+		}
+		return false // literals analyze their own nested literals
+	})
+	if allowRoot || ana.Terminates(body.List) || ana.EndsWithForever(body.List) {
+		return
+	}
+	if open := st.open - st.deferred; open > 0 {
+		pos := body.Pos()
+		if n := len(st.openPos); n > 0 {
+			pos = st.openPos[n-1]
+		}
+		v.pass.Reportf(pos, "%s frame is still open when the function returns; add a defer %s or pop on every path", v.cfg.Open, v.cfg.Close)
+	} else if open < 0 {
+		v.pass.Reportf(body.Pos(), "deferred %s without a matching %s", v.cfg.Close, v.cfg.Open)
+	}
+}
+
+func (v *visitor) checkStmts(stmts []ast.Stmt, st *state) {
+	for _, s := range stmts {
+		v.checkStmt(s, st)
+	}
+}
+
+func (v *visitor) checkStmt(s ast.Stmt, st *state) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch {
+			case v.isPairCall(call, v.cfg.Open):
+				st.open++
+				st.openPos = append(st.openPos, call.Pos())
+			case v.isPairCall(call, v.cfg.Close):
+				if st.open > 0 {
+					st.open--
+					st.openPos = st.openPos[:len(st.openPos)-1]
+				} else {
+					v.pass.Reportf(call.Pos(), "%s without an open %s frame on this path", v.cfg.Close, v.cfg.Open)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if v.isPairCall(s.Call, v.cfg.Close) {
+			st.deferred++
+		} else if v.isPairCall(s.Call, v.cfg.Open) {
+			v.pass.Reportf(s.Pos(), "%s in a defer opens a %s after the function body ran", v.cfg.Open, v.cfg.Noun)
+		}
+	case *ast.ReturnStmt:
+		credit := 0
+		for _, res := range s.Results {
+			if lit, ok := res.(*ast.FuncLit); ok {
+				credit += v.closeCredit(lit)
+			}
+		}
+		if open := st.open - st.deferred - credit; open > 0 {
+			v.pass.Reportf(s.Pos(), "return leaves %d %s(s) open (%s without %s on this path)", open, v.cfg.Noun, v.cfg.Open, v.cfg.Close)
+		}
+	case *ast.IfStmt:
+		v.branch(s.Body.List, st, s.Body.Pos())
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			v.branch(e.List, st, e.Pos())
+		case *ast.IfStmt:
+			v.branch([]ast.Stmt{e}, st, e.Pos())
+		}
+	case *ast.ForStmt:
+		v.loop(s.Body.List, st, s.Pos())
+	case *ast.RangeStmt:
+		v.loop(s.Body.List, st, s.Pos())
+	case *ast.BlockStmt:
+		v.checkStmts(s.List, st)
+	case *ast.SwitchStmt:
+		v.caseClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		v.caseClauses(s.Body, st)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				v.branch(cc.Body, st, cc.Pos())
+			}
+		}
+	case *ast.LabeledStmt:
+		v.checkStmt(s.Stmt, st)
+	}
+}
+
+func (v *visitor) caseClauses(body *ast.BlockStmt, st *state) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			v.branch(cc.Body, st, cc.Pos())
+		}
+	}
+}
+
+// branch analyzes a conditional block: a terminating branch may do what
+// it likes (its returns were checked); a fall-through branch must leave
+// the balance unchanged.
+func (v *visitor) branch(stmts []ast.Stmt, st *state, pos token.Pos) {
+	saved := st.clone()
+	v.checkStmts(stmts, st)
+	if ana.Terminates(stmts) {
+		*st = saved
+		return
+	}
+	// Compare the NET balance (open minus deferred): a branch that both
+	// opens and defers its close — the conditional idiom
+	// `if x { open(); defer close() }` — closes on every path out of the
+	// function and is sound.
+	if st.open-st.deferred != saved.open-saved.deferred {
+		v.pass.Reportf(pos, "%s opened or closed on only one side of a branch", v.cfg.Noun)
+		*st = saved
+	}
+}
+
+// loop analyzes a loop body: each iteration must preserve the balance.
+func (v *visitor) loop(stmts []ast.Stmt, st *state, pos token.Pos) {
+	saved := st.clone()
+	v.checkStmts(stmts, st)
+	if !ana.Terminates(stmts) && st.open != saved.open {
+		v.pass.Reportf(pos, "loop iteration changes the %s balance", v.cfg.Noun)
+	}
+	*st = saved
+}
+
+// closeCredit counts the net closes a returned closure performs.
+func (v *visitor) closeCredit(lit *ast.FuncLit) int {
+	net := 0
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if v.isPairCall(call, v.cfg.Close) {
+				net++
+			} else if v.isPairCall(call, v.cfg.Open) {
+				net--
+			}
+		}
+		return true
+	})
+	if net < 0 {
+		return 0
+	}
+	return net
+}
+
+// isPairCall reports whether call invokes ImplPkg's name method.
+func (v *visitor) isPairCall(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, _ := v.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == v.cfg.ImplPkg
+}

@@ -1,0 +1,29 @@
+// Package spanbalance verifies that every span.Collector.Begin has a
+// matching End on all paths out of the function: a dominating
+// `defer sp.End(t)`, an explicit End before each return, or an End
+// inside a closure the function returns (the sysEnter idiom). An
+// unbalanced span is worse than a lost measurement — End pops the
+// thread's span stack, so a leaked Begin re-parents every later span on
+// the thread and breaks the self-time reconciliation the span layer
+// promises (and panics at the next unmatched End).
+//
+// The pairing engine (accepted idioms, branch/loop net-balance rules)
+// is shared with attrbalance via the balance package. Note that the
+// analyzer counts only DIRECT calls in defers: `defer sp.End(t)` is
+// seen, `defer func() { sp.End(t) }()` is not — instrument with
+// separate direct defer statements.
+package spanbalance
+
+import (
+	"daxvm/tools/simlint/analyzers/balance"
+)
+
+// Analyzer is the span Begin/End balance check.
+var Analyzer = balance.New(balance.Config{
+	Name:    "spanbalance",
+	Doc:     "require every span Begin to be closed by End on all return paths",
+	ImplPkg: "span",
+	Open:    "Begin",
+	Close:   "End",
+	Noun:    "span",
+})

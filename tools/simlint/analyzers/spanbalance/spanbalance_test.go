@@ -1,0 +1,12 @@
+package spanbalance_test
+
+import (
+	"testing"
+
+	"daxvm/tools/simlint/analyzers/spanbalance"
+	"daxvm/tools/simlint/anatest"
+)
+
+func TestSpanBalance(t *testing.T) {
+	anatest.Run(t, "testdata", spanbalance.Analyzer, "spans")
+}

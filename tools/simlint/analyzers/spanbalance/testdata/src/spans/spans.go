@@ -1,0 +1,117 @@
+// Package spans exercises the spanbalance analyzer.
+package spans
+
+import (
+	"daxvm/tools/simlint/teststub/sim"
+	"daxvm/tools/simlint/teststub/span"
+)
+
+func leakOnReturn(t *sim.Thread, sp *span.Collector) {
+	sp.Begin(t, "fault.minor") // want `Begin frame is still open when the function returns`
+	t.Charge(10)
+}
+
+func leakOnEarlyReturn(t *sim.Thread, sp *span.Collector, err error) error {
+	sp.Begin(t, "syscall.read")
+	if err != nil {
+		return err // want `return leaves 1 span\(s\) open`
+	}
+	sp.End(t)
+	return nil
+}
+
+func balancedLinear(t *sim.Thread, sp *span.Collector) {
+	sp.Begin(t, "fault.minor")
+	t.Charge(10)
+	sp.End(t)
+}
+
+func balancedDefer(t *sim.Thread, sp *span.Collector, err error) error {
+	sp.Begin(t, "syscall.read")
+	defer sp.End(t)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func endWithoutBegin(t *sim.Thread, sp *span.Collector) {
+	sp.End(t) // want `End without an open Begin frame`
+}
+
+func oneSidedBranch(t *sim.Thread, sp *span.Collector, b bool) {
+	if b { // want `span opened or closed on only one side of a branch`
+		sp.Begin(t, "maybe")
+	}
+	t.Charge(1)
+}
+
+// conditionalSpan mirrors the gated-instrumentation idiom: the span
+// opens only under a condition, with its End deferred in the same
+// branch, so every path out is balanced.
+func conditionalSpan(t *sim.Thread, sp *span.Collector, on bool) {
+	if on {
+		sp.Begin(t, "access")
+		defer sp.End(t)
+	}
+	t.ChargeAs("read", 100)
+}
+
+func unbalancedLoop(t *sim.Thread, sp *span.Collector, n int) {
+	for i := 0; i < n; i++ { // want `loop iteration changes the span balance`
+		sp.Begin(t, "iter")
+	}
+}
+
+func balancedLoop(t *sim.Thread, sp *span.Collector, n int) {
+	for i := 0; i < n; i++ {
+		sp.Begin(t, "iter")
+		t.Charge(1)
+		sp.End(t)
+	}
+}
+
+// opEnter mirrors the kernel's sysEnter idiom: the span is closed by
+// the closure the function hands back, which the caller defers.
+func opEnter(t *sim.Thread, sp *span.Collector, name string) func() {
+	sp.Begin(t, "syscall."+name)
+	t.Charge(1000)
+	return func() {
+		t.Charge(700)
+		sp.End(t)
+	}
+}
+
+// threadRoot mirrors Engine.Go(..., func(t){...}): a root span may stay
+// open for the thread's whole life.
+func threadRoot(e *sim.Engine, sp *span.Collector) {
+	e.Go("app", 0, 0, func(t *sim.Thread) {
+		sp.Begin(t, "app")
+		t.Charge(1)
+	})
+}
+
+// daemonLoop mirrors monitor daemons: a root span followed by an
+// infinite loop never returns, so the trailing open span is fine.
+func daemonLoop(t *sim.Thread, sp *span.Collector) {
+	sp.Begin(t, "daemon.monitor")
+	for {
+		t.Sleep(100)
+		t.ChargeAs("sample", 10)
+	}
+}
+
+// waitsAreNotOpens: Wait and StartSegment calls must not confuse the
+// balance tracking.
+func waitsAreNotOpens(t *sim.Thread, sp *span.Collector) {
+	sp.StartSegment("seg")
+	sp.Begin(t, "op")
+	sp.Wait(t, span.WaitMmapSem, 30)
+	sp.End(t)
+}
+
+func suppressedLeak(t *sim.Thread, sp *span.Collector) {
+	//lint:ignore spanbalance span intentionally spans the thread's life
+	sp.Begin(t, "root")
+	t.Charge(1)
+}

@@ -7,6 +7,7 @@
 //	determinism     daxvm/internal/...          (the simulation core)
 //	chargeunits     daxvm/internal/..., cmd/... (anywhere costs flow)
 //	attrbalance     everywhere outside package sim
+//	spanbalance     everywhere outside package span
 //	lockdiscipline  everywhere outside package sim
 //	detmap          everywhere
 //	shadow, nilness, unusedwrite: everywhere
@@ -31,6 +32,7 @@ import (
 	"daxvm/tools/simlint/analyzers/determinism"
 	"daxvm/tools/simlint/analyzers/detmap"
 	"daxvm/tools/simlint/analyzers/lockdiscipline"
+	"daxvm/tools/simlint/analyzers/spanbalance"
 	"daxvm/tools/simlint/stock"
 )
 
@@ -56,6 +58,7 @@ var suite = []check{
 	{determinism.Analyzer, underAny("daxvm/internal/")},
 	{chargeunits.Analyzer, underAny("daxvm/internal/", "daxvm/cmd/")},
 	{attrbalance.Analyzer, everywhere},    // skips package sim itself
+	{spanbalance.Analyzer, everywhere},    // skips package span itself
 	{lockdiscipline.Analyzer, everywhere}, // skips package sim itself
 	{detmap.Analyzer, everywhere},
 	{stock.Shadow, everywhere},
