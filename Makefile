@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet lint test race smoke perf-gate validate-baselines baseline clean
+.PHONY: ci build fmt vet lint lint-json test race smoke perf-gate validate-baselines baseline clean
 
 ci: fmt vet lint build test race smoke perf-gate validate-baselines
 
@@ -24,10 +24,17 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis: determinism, attribution balance,
-# lock discipline, charge units, deterministic map export (see
-# tools/simlint; suppress findings with //lint:ignore <analyzer> <why>).
+# lock discipline, charge units, deterministic map export, whole-program
+# lock order and hot-path allocations (see tools/simlint; suppress
+# findings with //lint:ignore <analyzer> <why>).
 lint:
 	$(GO) run ./tools/simlint ./...
+
+# Machine-readable lint dump: one JSON finding per line (suppressed
+# findings included) in lint.json, which stays untracked. Exit status
+# still reflects unsuppressed findings.
+lint-json:
+	$(GO) run ./tools/simlint -json ./... > lint.json
 
 test:
 	$(GO) test ./...

@@ -687,6 +687,7 @@ func (p *Proc) wpFault(t *sim.Thread, core *cpu.Core, v *mm.VMA, va mem.VirtAddr
 		// Huge leaf chunk: upgrade the PMD leaf itself.
 		leaf, idx := p.MM.AS.LeafNode(hva)
 		if leaf == nil {
+			//lint:ignore hotalloc error path: a fault on an unmapped page ends the workload
 			return fmt.Errorf("daxvm: wp fault on unmapped %#x", va)
 		}
 		leaf.SetEntry(t, idx, leaf.Entries[idx]|pt.BitWrite|pt.BitDirty)

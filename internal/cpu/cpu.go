@@ -69,9 +69,12 @@ type Core struct {
 	// targets are charged through it).
 	bound *sim.Thread
 
-	// PTE-line reuse cache for the walk cost model.
+	// PTE-line reuse cache for the walk cost model. The FIFO ring is a
+	// fixed array so the per-walk touch path never allocates.
 	pteLines   map[lineKey]struct{}
-	pteOrder   []lineKey
+	pteRing    [pteLineCacheSize]lineKey
+	pteHead    int // oldest entry when pteCount == pteLineCacheSize
+	pteCount   int
 	pteLineGen uint64
 
 	// WalkHist, when set, records the latency of every charged page
@@ -175,12 +178,25 @@ func (c *Core) chargeWalk(t *sim.Thread, as *pt.AddressSpace, va mem.VirtAddr, _
 	c.chargeWalkCost(t, as, va, level, ok)
 }
 
+// Walk attribution labels, precomposed so the per-walk charge path never
+// builds a string.
+const (
+	walkAborted        = "walk.aborted"
+	walkHugeLabel      = "walk.huge"
+	walkPTECachedDRAM  = "walk.pte_cached_dram"
+	walkPTECachedPMem  = "walk.pte_cached_pmem"
+	walkPTEMissDRAM    = "walk.pte_miss_dram"
+	walkPTEMissDRAMRem = "walk.pte_miss_dram_remote"
+	walkPTEMissPMem    = "walk.pte_miss_pmem"
+	walkPTEMissPMemRem = "walk.pte_miss_pmem_remote"
+)
+
 // chargeWalkCost books one walk: the cycles go to the cycle account under
 // "walk.<kind>" (nested below whatever path triggered the translation),
 // the per-core stats, and the walk-latency histogram.
 func (c *Core) chargeWalkCost(t *sim.Thread, as *pt.AddressSpace, va mem.VirtAddr, level int, ok bool) {
-	cycles, kind := c.walkCost(as, va, level, ok)
-	t.ChargeAs("walk."+kind, cycles)
+	cycles, label := c.walkCost(as, va, level, ok)
+	t.ChargeAs(label, cycles)
 	c.Stats.WalkCycles += cycles
 	c.Stats.Walks++
 	c.WalkHist.Observe(cycles)
@@ -192,14 +208,14 @@ func (c *Core) chargeWalkCost(t *sim.Thread, as *pt.AddressSpace, va mem.VirtAdd
 func (c *Core) walkCost(as *pt.AddressSpace, va mem.VirtAddr, level int, ok bool) (uint64, string) {
 	if !ok {
 		// Aborted walk; upper levels only.
-		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM, "aborted"
+		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM, walkAborted
 	}
 	if level >= pt.LevelPMD {
-		return cost.WalkHuge, "huge"
+		return cost.WalkHuge, walkHugeLabel
 	}
 	leaf, idx := as.LeafNode(va)
 	if leaf == nil {
-		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM, "pte_cached_dram"
+		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM, walkPTECachedDRAM
 	}
 	hot := c.touchPTELine(leaf, idx/mem.PTEsPerCacheLine)
 	// The leaf fetch reaches across the interconnect when the table node
@@ -209,20 +225,20 @@ func (c *Core) walkCost(as *pt.AddressSpace, va mem.VirtAddr, level int, ok bool
 	if leaf.Loc.Medium == mem.PMem {
 		c.Stats.PMemWalks++
 		if hot {
-			return cost.WalkUpperLevels + cost.WalkPTECachedPMem, "pte_cached_pmem"
+			return cost.WalkUpperLevels + cost.WalkPTECachedPMem, walkPTECachedPMem
 		}
 		if remote {
-			return cost.WalkUpperLevels + cost.WalkPTEMissPMem + cost.RemotePMemWalkExtra, "pte_miss_pmem_remote"
+			return cost.WalkUpperLevels + cost.WalkPTEMissPMem + cost.RemotePMemWalkExtra, walkPTEMissPMemRem
 		}
-		return cost.WalkUpperLevels + cost.WalkPTEMissPMem, "pte_miss_pmem"
+		return cost.WalkUpperLevels + cost.WalkPTEMissPMem, walkPTEMissPMem
 	}
 	if hot {
-		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM, "pte_cached_dram"
+		return cost.WalkUpperLevels + cost.WalkPTECachedDRAM, walkPTECachedDRAM
 	}
 	if remote {
-		return cost.WalkUpperLevels + cost.WalkPTEMissDRAM + cost.RemoteDRAMWalkExtra, "pte_miss_dram_remote"
+		return cost.WalkUpperLevels + cost.WalkPTEMissDRAM + cost.RemoteDRAMWalkExtra, walkPTEMissDRAMRem
 	}
-	return cost.WalkUpperLevels + cost.WalkPTEMissDRAM, "pte_miss_dram"
+	return cost.WalkUpperLevels + cost.WalkPTEMissDRAM, walkPTEMissDRAM
 }
 
 // touchPTELine records a PTE cache-line touch, reporting whether it was
@@ -232,13 +248,15 @@ func (c *Core) touchPTELine(node *pt.Node, line int) bool {
 	if _, ok := c.pteLines[k]; ok {
 		return true
 	}
-	if len(c.pteOrder) >= pteLineCacheSize {
-		victim := c.pteOrder[0]
-		c.pteOrder = c.pteOrder[1:]
-		delete(c.pteLines, victim)
+	if c.pteCount == pteLineCacheSize {
+		delete(c.pteLines, c.pteRing[c.pteHead])
+		c.pteRing[c.pteHead] = k
+		c.pteHead = (c.pteHead + 1) % pteLineCacheSize
+	} else {
+		c.pteRing[(c.pteHead+c.pteCount)%pteLineCacheSize] = k
+		c.pteCount++
 	}
 	c.pteLines[k] = struct{}{}
-	c.pteOrder = append(c.pteOrder, k)
 	return false
 }
 
@@ -247,7 +265,7 @@ func (c *Core) touchPTELine(node *pt.Node, line int) bool {
 func (c *Core) DropPTELines() {
 	c.pteLineGen++
 	c.pteLines = make(map[lineKey]struct{}, pteLineCacheSize)
-	c.pteOrder = c.pteOrder[:0]
+	c.pteHead, c.pteCount = 0, 0
 }
 
 // setLeafBits sets accessed (and dirty on write) bits on the leaf entry

@@ -99,6 +99,7 @@ func (p *Pool) AllocFrame(t *sim.Thread) mem.PFN { return p.AllocFrameOn(t, 0) }
 func (p *Pool) AllocFrameOn(t *sim.Thread, node mem.NodeID) mem.PFN {
 	idx := p.bankWithSpace(node)
 	if idx < 0 {
+		//lint:ignore hotalloc fatal path: args are boxed only when panicking
 		panic(fmt.Sprintf("dram: out of memory (capacity %d)", p.capacity))
 	}
 	b := &p.banks[idx]

@@ -402,7 +402,17 @@ func (f *FS) Extents(in *vfs.Inode) []vfs.Extent {
 func (f *FS) BlockOf(t *sim.Thread, in *vfs.Inode, fileBlock uint64) (uint64, bool) {
 	t.ChargeAs("extent_lookup", cost.ExtentLookup)
 	di := in.Priv.(*inode)
-	i := sort.Search(len(di.extents), func(i int) bool { return di.extents[i].End() > fileBlock })
+	// Manual binary search for the first extent ending past fileBlock:
+	// sort.Search's closure would allocate on every fault-path lookup.
+	i, j := 0, len(di.extents)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if di.extents[h].End() > fileBlock {
+			j = h
+		} else {
+			i = h + 1
+		}
+	}
 	if i == len(di.extents) || di.extents[i].File > fileBlock {
 		return 0, false
 	}

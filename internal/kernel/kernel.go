@@ -346,7 +346,13 @@ func (k *Kernel) NewProc() *Proc {
 		tr := p.MM.Trace
 		sp := k.Cfg.Spans
 		p.MM.Sem.OnContended = func(t *sim.Thread, kind string, waitStart, blocked uint64) {
-			tr.Emit(obs.EvLockContention, t.Core, waitStart, t.Now()-waitStart, "mmap_sem/"+kind, 0)
+			// Precomposed tags: this closure runs on the contended fault
+			// path, where a concat would allocate per event.
+			tag := "mmap_sem/read"
+			if kind == "write" {
+				tag = "mmap_sem/write"
+			}
+			tr.Emit(obs.EvLockContention, t.Core, waitStart, t.Now()-waitStart, tag, 0)
 			sp.Wait(t, span.WaitMmapSem, blocked)
 		}
 	}

@@ -389,10 +389,12 @@ func (m *MM) pageFault(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, write boo
 	v := m.FindVMA(t, va)
 	if v == nil {
 		m.Sem.RUnlock(t, cost.SemReleaseFast)
+		//lint:ignore hotalloc error path: a segfault ends the workload
 		return fmt.Errorf("mm: segfault at %#x", va)
 	}
 	if write && !v.Perm.CanWrite() {
 		m.Sem.RUnlock(t, cost.SemReleaseFast)
+		//lint:ignore hotalloc error path: a protection fault ends the workload
 		return fmt.Errorf("mm: write to read-only mapping at %#x", va)
 	}
 
@@ -411,6 +413,7 @@ func (m *MM) pageFault(t *sim.Thread, core *cpu.Core, va mem.VirtAddr, write boo
 	phys, ok := m.fs.BlockOf(t, v.Inode, fileBlock)
 	if !ok {
 		m.Sem.RUnlock(t, cost.SemReleaseFast)
+		//lint:ignore hotalloc error path: a fault beyond EOF ends the workload
 		return fmt.Errorf("mm: fault beyond EOF at %#x (block %d)", va, fileBlock)
 	}
 	t.Charge(cost.MinorFaultService)
@@ -466,10 +469,12 @@ func (m *MM) wpFault(t *sim.Thread, core *cpu.Core, va mem.VirtAddr) error {
 	v := m.FindVMA(t, va)
 	if v == nil {
 		m.Sem.RUnlock(t, cost.SemReleaseFast)
+		//lint:ignore hotalloc error path: a segfault ends the workload
 		return fmt.Errorf("mm: segfault at %#x", va)
 	}
 	if !v.Perm.CanWrite() {
 		m.Sem.RUnlock(t, cost.SemReleaseFast)
+		//lint:ignore hotalloc error path: a protection fault ends the workload
 		return fmt.Errorf("mm: write to read-only mapping at %#x", va)
 	}
 	if v.DaxVM && m.DaxWPFault != nil {

@@ -46,6 +46,7 @@ func (a *CycleAccount) Charge(core int, path string, cycles uint64) {
 	a.mu.Lock()
 	l := a.leaves[path]
 	if l == nil {
+		//lint:ignore hotalloc first charge to a unique path only; steady state hits the map
 		l = &cycleLeaf{byCore: make(map[int]uint64)}
 		a.leaves[path] = l
 	}

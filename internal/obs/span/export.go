@@ -72,6 +72,7 @@ func snapshot(n *node) Span {
 		Waits:    waitMap(n.waits),
 	}
 	if len(n.children) > 0 {
+		//lint:ignore hotalloc exemplar snapshot: deep copy only when a span enters the top-K
 		s.Children = make([]Span, len(n.children))
 		for i, ch := range n.children {
 			s.Children[i] = snapshot(ch)
@@ -89,6 +90,7 @@ func waitMap(w [numWaitKinds]uint64) map[string]uint64 {
 			continue
 		}
 		if m == nil {
+			//lint:ignore hotalloc exemplar snapshot: only when a span enters the top-K
 			m = make(map[string]uint64, numWaitKinds)
 		}
 		m[WaitKind(k).String()] = v

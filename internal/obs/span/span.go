@@ -145,6 +145,7 @@ type segment struct {
 func (s *segment) class(name string) *classStats {
 	st := s.classes[name]
 	if st == nil {
+		//lint:ignore hotalloc once per new span class in a segment; steady state hits the map
 		st = &classStats{}
 		s.classes[name] = st
 	}
@@ -196,6 +197,7 @@ func (c *Collector) state(t *sim.Thread) *tstate {
 	}
 	ts := c.threads[t]
 	if ts == nil {
+		//lint:ignore hotalloc once per thread; steady state hits the one-slot cache or the map
 		ts = &tstate{}
 		c.threads[t] = ts
 	}
@@ -209,6 +211,7 @@ func (c *Collector) newNode() *node {
 		c.free = c.free[:n-1]
 		return nd
 	}
+	//lint:ignore hotalloc pool miss: steady state recycles finished trees through the free list
 	return &node{}
 }
 
@@ -221,6 +224,7 @@ func (c *Collector) recycle(n *node) {
 	kids := n.children[:0]
 	*n = node{}
 	n.children = kids
+	//lint:ignore hotalloc free list: bounded by the peak live tree size
 	c.free = append(c.free, n)
 }
 
@@ -240,6 +244,7 @@ func (c *Collector) Begin(t *sim.Thread, class string) {
 	n.core = t.Core
 	n.seq = c.seq
 	n.start = t.Now()
+	//lint:ignore hotalloc span stack: reaches its steady nesting depth after warm-up
 	ts.stack = append(ts.stack, n)
 }
 
@@ -289,6 +294,7 @@ func (c *Collector) finish(n *node, ts *tstate) {
 				p.childWaits[k] += tw[k]
 			}
 		}
+		//lint:ignore hotalloc children slices are recycled with their nodes; growth amortizes away
 		p.children = append(p.children, n)
 		return
 	}
@@ -316,6 +322,7 @@ func (c *Collector) consider(st *classStats, n *node, tSelf uint64, tw [numWaitK
 	for i > 0 && (st.top[i-1].dur > ex.dur || (st.top[i-1].dur == ex.dur && st.top[i-1].seq > ex.seq)) {
 		i--
 	}
+	//lint:ignore hotalloc top-K reservoir: the append never grows past K
 	st.top = append(st.top, exemplar{})
 	copy(st.top[i+1:], st.top[i:])
 	st.top[i] = ex

@@ -77,6 +77,7 @@ func (tr *Tracer) Emit(typ string, core int, ts, dur uint64, tag string, arg uin
 	tr.mu.Lock()
 	e := Event{TS: ts, Dur: dur, Core: core, Type: typ, Tag: tag, Arg: arg}
 	if len(tr.buf) < cap(tr.buf) {
+		//lint:ignore hotalloc ring fill phase: the append stays within the preallocated cap
 		tr.buf = append(tr.buf, e)
 	} else {
 		tr.buf[tr.next] = e

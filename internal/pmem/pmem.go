@@ -150,6 +150,7 @@ func (d *Device) Bytes(addr mem.PhysAddr, n uint64) []byte {
 
 func (d *Device) check(addr mem.PhysAddr, n uint64) {
 	if uint64(addr)+n > d.size {
+		//lint:ignore hotalloc fatal path: args are boxed only when panicking
 		panic(fmt.Sprintf("pmem: access [%#x,+%d) beyond device size %#x", addr, n, d.size))
 	}
 }
@@ -222,11 +223,13 @@ func (d *Device) writeNTCommon(t *sim.Thread, addr mem.PhysAddr, n uint64) {
 	d.banks[node].stats.NTStores++
 	if d.trackPersistence {
 		// NT stores go to the WC buffer; durable at next fence. Model
-		// them as flushed-awaiting-fence.
-		d.forEachLine(addr, n, func(l uint64) {
+		// them as flushed-awaiting-fence. Explicit loop: a forEachLine
+		// closure would allocate on every hot-path store.
+		first, last := lineSpan(addr, n)
+		for l := first; l <= last; l++ {
 			delete(d.dirtyLines, l)
 			d.flushedLines[l] = struct{}{}
-		})
+		}
 	}
 	c := cost.NTStorePMemPerPage * n / mem.PageSize
 	if c == 0 {
@@ -257,7 +260,11 @@ func (d *Device) WriteCached(t *sim.Thread, addr mem.PhysAddr, buf []byte) {
 	d.banks[node].stats.BytesWritten += n
 	d.banks[node].stats.CachedStores++
 	if d.trackPersistence {
-		d.forEachLine(addr, n, func(l uint64) { d.dirtyLines[l] = struct{}{} })
+		// Explicit loop: a forEachLine closure would allocate per store.
+		first, last := lineSpan(addr, n)
+		for l := first; l <= last; l++ {
+			d.dirtyLines[l] = struct{}{}
+		}
 	}
 	// Cached stores complete at cache speed; the PMem cost is paid at
 	// flush time.
@@ -338,9 +345,14 @@ func (d *Device) Fence(t *sim.Thread) {
 	t.ChargeAs("fence", cost.FenceCost)
 }
 
+// lineSpan returns the first and last cache-line indices covering
+// [addr, addr+n).
+func lineSpan(addr mem.PhysAddr, n uint64) (first, last uint64) {
+	return uint64(addr) / mem.CacheLineSize, (uint64(addr) + n - 1) / mem.CacheLineSize
+}
+
 func (d *Device) forEachLine(addr mem.PhysAddr, n uint64, fn func(line uint64)) {
-	first := uint64(addr) / mem.CacheLineSize
-	last := (uint64(addr) + n - 1) / mem.CacheLineSize
+	first, last := lineSpan(addr, n)
 	for l := first; l <= last; l++ {
 		fn(l)
 	}

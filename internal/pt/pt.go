@@ -148,6 +148,7 @@ type Node struct {
 // NewNode allocates a table node at the given level at the given
 // location (medium + NUMA node).
 func NewNode(level int, loc mem.Loc) *Node {
+	//lint:ignore hotalloc the allocation is the modeled work: one table node per simulated page-table page
 	return &Node{Level: level, Loc: loc, Frame: NoFrame}
 }
 

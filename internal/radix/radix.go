@@ -72,10 +72,12 @@ func (n *node[V]) anyTag(tag Tag) bool {
 // grow raises the tree height until index fits.
 func (t *Tree[V]) grow(index uint64) {
 	if t.root == nil {
+		//lint:ignore hotalloc tree growth: amortized, O(tracked pages) nodes total
 		t.root = &node[V]{shift: 0}
 		t.height = 0
 	}
 	for index>>t.root.shift >= fanout {
+		//lint:ignore hotalloc tree growth: amortized, O(log index) roots total
 		newRoot := &node[V]{shift: t.root.shift + bitsPerLevel}
 		old := t.root
 		if old.count > 0 {
@@ -102,6 +104,7 @@ func (t *Tree[V]) Set(index uint64, val V) {
 		off := int(index>>n.shift) & levelMask
 		child, _ := n.slots[off].(*node[V])
 		if child == nil {
+			//lint:ignore hotalloc tree growth: amortized, O(tracked pages) nodes total
 			child = &node[V]{shift: n.shift - bitsPerLevel, parent: n, offset: off}
 			n.slots[off] = child
 			n.count++
@@ -113,6 +116,7 @@ func (t *Tree[V]) Set(index uint64, val V) {
 		n.count++
 		t.size++
 	}
+	//lint:ignore hotalloc one leaf per tracked page; reuse would need intrusive storage in V
 	n.slots[off] = &leaf[V]{val: val}
 }
 

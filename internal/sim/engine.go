@@ -265,13 +265,16 @@ func (e *Engine) join(parent, label string) string {
 	m := e.joined[parent]
 	if m == nil {
 		if e.joined == nil {
+			//lint:ignore hotalloc interning table: allocated once per engine
 			e.joined = make(map[string]map[string]string)
 		}
+		//lint:ignore hotalloc interning table: allocated once per unique parent path
 		m = make(map[string]string)
 		e.joined[parent] = m
 	}
 	p, ok := m[label]
 	if !ok {
+		//lint:ignore hotalloc interning miss: concat runs once per unique (parent, label) pair
 		p = parent + "." + label
 		m[label] = p
 	}
@@ -285,6 +288,7 @@ func (t *Thread) PushAttr(label string) {
 	if n := len(t.attr); n > 0 {
 		label = t.e.join(t.attr[n-1], label)
 	}
+	//lint:ignore hotalloc attribution stack: reaches its steady nesting depth after warm-up
 	t.attr = append(t.attr, label)
 }
 
@@ -389,6 +393,7 @@ func (t *Thread) Block(tag string) {
 // Must be called by the running thread.
 func (e *Engine) Wake(t *Thread, at uint64) {
 	if t.state != stateBlocked {
+		//lint:ignore hotalloc fatal path: the concat only runs when panicking
 		panic("sim: Wake of non-blocked thread " + t.Name)
 	}
 	if at < t.clock {
@@ -405,6 +410,7 @@ func (e *Engine) dispatchFrom(t *Thread, wait bool) {
 	next := e.pop()
 	if next == nil {
 		if wait || e.live > 0 {
+			//lint:ignore hotalloc fatal path: the concat only runs when panicking
 			panic("sim: deadlock\n" + e.dump())
 		}
 		// Exiting last thread with nothing runnable and live==0 was

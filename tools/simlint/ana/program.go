@@ -1,0 +1,44 @@
+package ana
+
+import "go/token"
+
+// Program is the whole-program view shared by interprocedural
+// analyzers: every loaded package plus the lazily-built call graph.
+type Program struct {
+	Packages []*Package
+	Fset     *token.FileSet
+
+	graph *CallGraph
+}
+
+// NewProgram wraps a set of packages loaded by Load (they share one
+// FileSet, so positions are comparable across packages).
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{Packages: pkgs}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
+	} else {
+		p.Fset = token.NewFileSet()
+	}
+	return p
+}
+
+// Graph returns the whole-program call graph, building it on first use.
+// The build is deterministic, so analyzers running in sequence observe
+// the identical graph.
+func (p *Program) Graph() *CallGraph {
+	if p.graph == nil {
+		p.graph = buildCallGraph(p)
+	}
+	return p.graph
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (p *Program) Package(path string) *Package {
+	for _, pkg := range p.Packages {
+		if pkg.PkgPath == path {
+			return pkg
+		}
+	}
+	return nil
+}

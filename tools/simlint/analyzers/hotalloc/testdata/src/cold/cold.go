@@ -1,0 +1,19 @@
+// Package cold checks the other side of reachability: an allocation in
+// a function no root reaches must not be flagged.
+package cold
+
+// Enter is a root, but it never reaches the allocator below.
+//
+// hotalloc:root
+func Enter() int {
+	return add(1, 2)
+}
+
+func add(a, b int) int { return a + b }
+
+// colder is unreachable from Enter; its allocation stays unreported.
+func colder(n int) []int {
+	return make([]int, n)
+}
+
+var _ = colder

@@ -1,0 +1,15 @@
+// Package hot exercises hotalloc reachability: an allocation in a
+// helper reached from a marked root is flagged with its call trace.
+package hot
+
+// Fault is the fixture's per-event entry point.
+//
+// hotalloc:root
+func Fault(n int) []int {
+	return build(n)
+}
+
+func build(n int) []int {
+	out := make([]int, n) // want `hot-path allocation \(make\): make allocates; trace: hot\.Fault -> hot\.build`
+	return out
+}

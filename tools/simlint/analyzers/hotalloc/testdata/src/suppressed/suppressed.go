@@ -1,0 +1,11 @@
+// Package suppressed checks that an in-place //lint:ignore hotalloc
+// directive with a rationale silences a reachable allocation site.
+package suppressed
+
+// Fault is the fixture's per-event entry point.
+//
+// hotalloc:root
+func Fault(n int) []int {
+	//lint:ignore hotalloc amortized warm-up buffer, sized once
+	return make([]int, n)
+}

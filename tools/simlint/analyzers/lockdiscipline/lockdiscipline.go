@@ -18,10 +18,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"regexp"
-	"strings"
 
 	"daxvm/tools/simlint/ana"
+	"daxvm/tools/simlint/analyzers/lockutil"
 )
 
 // Analyzer is the lock pairing + guarded-field check.
@@ -30,13 +29,6 @@ var Analyzer = &ana.Analyzer{
 	Doc:  "pair instrumented-lock acquire/release on all paths and enforce `guarded by` field annotations",
 	Run:  run,
 }
-
-var lockTypes = map[string]map[string]bool{
-	"sim":  {"Mutex": true, "SpinLock": true, "RWSem": true},
-	"sync": {"Mutex": true, "RWMutex": true},
-}
-
-var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
 
 func run(pass *ana.Pass) error {
 	if pass.Pkg.Name() == "sim" {
@@ -61,49 +53,16 @@ func run(pass *ana.Pass) error {
 // holdsFromDoc extracts lock names a doc comment declares as held, e.g.
 // "reconcile holds mu and walks the leaf map."
 func holdsFromDoc(doc *ast.CommentGroup) map[string]bool {
-	held := map[string]bool{}
 	if doc == nil {
-		return held
+		return map[string]bool{}
 	}
-	re := regexp.MustCompile(`holds (\w+)`)
-	for _, m := range re.FindAllStringSubmatch(doc.Text(), -1) {
-		held[m[1]] = true
-	}
-	return held
+	return lockutil.HoldsFromDoc(doc.Text())
 }
 
 // collectGuards maps struct field objects annotated `guarded by <name>`
 // to the lock field's name.
 func collectGuards(pass *ana.Pass) map[types.Object]string {
-	guards := map[types.Object]string{}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			st, ok := n.(*ast.StructType)
-			if !ok {
-				return true
-			}
-			for _, field := range st.Fields.List {
-				var text string
-				if field.Doc != nil {
-					text += field.Doc.Text()
-				}
-				if field.Comment != nil {
-					text += field.Comment.Text()
-				}
-				m := guardedRe.FindStringSubmatch(text)
-				if m == nil {
-					continue
-				}
-				for _, name := range field.Names {
-					if obj := pass.TypesInfo.Defs[name]; obj != nil {
-						guards[obj] = m[1]
-					}
-				}
-			}
-			return true
-		})
-	}
-	return guards
+	return lockutil.CollectGuards(pass.TypesInfo, pass.Files)
 }
 
 // ---- pairing ----
@@ -115,47 +74,14 @@ type lockOp struct {
 	acquire bool
 }
 
-var methodOps = map[string]struct {
-	mode    string
-	acquire bool
-}{
-	"Lock":    {"w", true},
-	"Unlock":  {"w", false},
-	"RLock":   {"r", true},
-	"RUnlock": {"r", false},
-}
-
-// classify resolves call to a lock operation, or ok=false.
+// classify resolves call to a lock operation (shared vocabulary lives
+// in lockutil so lockorder classifies the same sites), or ok=false.
 func classify(pass *ana.Pass, call *ast.CallExpr) (lockOp, bool) {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	op, ok := lockutil.Classify(pass.TypesInfo, call)
 	if !ok {
 		return lockOp{}, false
 	}
-	op, ok := methodOps[sel.Sel.Name]
-	if !ok {
-		return lockOp{}, false
-	}
-	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if fn == nil || fn.Pkg() == nil {
-		return lockOp{}, false
-	}
-	names := lockTypes[fn.Pkg().Name()]
-	if names == nil {
-		return lockOp{}, false
-	}
-	recv := fn.Type().(*types.Signature).Recv()
-	if recv == nil {
-		return lockOp{}, false
-	}
-	t := recv.Type()
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok || !names[named.Obj().Name()] {
-		return lockOp{}, false
-	}
-	return lockOp{key: types.ExprString(sel.X) + "/" + op.mode, acquire: op.acquire}, true
+	return lockOp{key: op.Key, acquire: op.Acquire}, true
 }
 
 type lockState struct {
@@ -187,13 +113,7 @@ func (s *lockState) copyFrom(o *lockState) {
 }
 
 // baseName returns the last selector component of a key like "r.mu/w".
-func baseName(key string) string {
-	key = strings.TrimSuffix(strings.TrimSuffix(key, "/w"), "/r")
-	if i := strings.LastIndex(key, "."); i >= 0 {
-		key = key[i+1:]
-	}
-	return key
-}
+func baseName(key string) string { return lockutil.BaseName(key) }
 
 type pairWalker struct {
 	pass *ana.Pass

@@ -1,0 +1,903 @@
+// Package lockorder is the whole-program lock-ordering analyzer. It
+// propagates held-lock sets along call-graph edges and checks three
+// properties that the per-function lockdiscipline analyzer cannot see:
+//
+//  1. Global acquisition order: every "lock B acquired while lock A is
+//     held" pair — directly or through any chain of calls — becomes an
+//     edge A -> B in the program's acquisition-order graph. A cycle in
+//     that graph is a potential deadlock and is reported once, with the
+//     full lock path and the source position of every edge on it. The
+//     proven (acyclic) order can be dumped as DOT via SetDotOutput.
+//
+//  2. Interprocedural `guarded by <lock>` verification: a field access
+//     with the named lock unheld at the access point is a finding when
+//     the enclosing function can actually be *entered* without the lock
+//     (a function whose every caller holds the lock is safe even
+//     without a doc annotation).
+//
+//  3. `holds <lock>` claim verification: a call to a function whose doc
+//     comment declares `holds mu` from a site where no lock named mu is
+//     held is a finding — the annotation lockdiscipline trusts is now
+//     checked at every call site.
+//
+// Locks are identified by class: the struct field or package-level
+// variable that holds them (every instance of mm.MM shares the class
+// mm.MM.Sem). Call-graph traversal uses static, interface and bound
+// edges only; signature-fallback edges are excluded (see ana.EdgeSig).
+// Package sim (the lock implementation, and the fixtures' stub) is out
+// of scope, which also keeps the engine's thread trampoline from
+// fusing unrelated thread bodies into one order.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"daxvm/tools/simlint/ana"
+	"daxvm/tools/simlint/analyzers/lockutil"
+)
+
+// Analyzer is the whole-program lock-order check.
+var Analyzer = &ana.Analyzer{
+	Name:         "lockorder",
+	Doc:          "prove a global lock acquisition order (cycles are potential deadlocks) and verify `guarded by`/`holds` annotations across calls",
+	Run:          run,
+	WholeProgram: true,
+}
+
+var dotOut io.Writer
+
+// SetDotOutput makes the next run write the acquisition-order graph to
+// w in DOT format (used by simlint's -lockorder-dot flag).
+func SetDotOutput(w io.Writer) { dotOut = w }
+
+type eventKind uint8
+
+const (
+	evAcquire eventKind = iota
+	evRelease
+	evCall
+	evAccess
+)
+
+// event is one point of interest in a function body, in source order
+// with branch-aware held-set context.
+type event struct {
+	kind    eventKind
+	class   string       // lock class (acquire/release)
+	callees []string     // call targets (evCall)
+	obj     types.Object // accessed guarded field (evAccess)
+	held    []string     // lock classes held at this point (sorted)
+	pos     token.Pos
+}
+
+// fnInfo is the per-function summary the interprocedural passes consume.
+type fnInfo struct {
+	node     *ana.CGNode
+	events   []event
+	docHolds map[string]bool
+	acqLocal map[string]bool // classes acquired anywhere in the body
+}
+
+// orderEdge is one acquisition-order edge, keeping its first witness.
+type orderEdge struct {
+	from, to string
+	pos      token.Pos
+	via      string // callee chain head for indirect edges ("" = direct)
+}
+
+type analysis struct {
+	pass     *ana.Pass
+	graph    *ana.CallGraph
+	fns      map[string]*fnInfo
+	ids      []string // sorted scoped node IDs
+	guards   map[types.Object]string
+	edges    map[[2]string]*orderEdge
+	acq      map[string]map[string]bool // AcqStar fixpoint
+	pkgLocks map[string]map[string]bool // pkg path -> lock base names used there
+	entry    map[string]map[string]bool // entryHolds fixpoint
+}
+
+func run(pass *ana.Pass) error {
+	a := &analysis{
+		pass:     pass,
+		graph:    pass.Prog.Graph(),
+		fns:      map[string]*fnInfo{},
+		guards:   map[types.Object]string{},
+		edges:    map[[2]string]*orderEdge{},
+		acq:      map[string]map[string]bool{},
+		pkgLocks: map[string]map[string]bool{},
+		entry:    map[string]map[string]bool{},
+	}
+	for _, pkg := range pass.Prog.Packages {
+		if pkg.Name == "sim" {
+			continue
+		}
+		for obj, lock := range lockutil.CollectGuards(pkg.TypesInfo, pkg.Syntax) {
+			a.guards[obj] = lock
+			a.noteLockName(pkg.PkgPath, lock)
+		}
+	}
+	for _, id := range a.graph.SortedIDs() {
+		n := a.graph.Nodes[id]
+		if !a.inScope(n) {
+			continue
+		}
+		a.ids = append(a.ids, id)
+		a.fns[id] = a.summarize(n)
+	}
+	a.pruneProseClaims()
+	a.fixpointAcq()
+	a.fixpointEntryHolds()
+	a.buildOrderEdges()
+	a.reportCycles()
+	a.checkHoldsClaims()
+	a.checkGuardedFields()
+	if dotOut != nil {
+		a.writeDot(dotOut)
+		dotOut = nil
+	}
+	return nil
+}
+
+func (a *analysis) inScope(n *ana.CGNode) bool {
+	return n != nil && n.Pkg != nil && n.Pkg.Name != "sim" && n.Body() != nil
+}
+
+// --- per-function summary ---------------------------------------------------
+
+// summarize walks one function body in source order, tracking the
+// held-lock multiset through branches (both arms are walked with a
+// cloned set; lockdiscipline separately enforces that arms re-converge,
+// so the post-branch state is the maximum over arms).
+func (a *analysis) summarize(n *ana.CGNode) *fnInfo {
+	fi := &fnInfo{
+		node:     n,
+		docHolds: lockutil.HoldsFromDoc(n.DocText()),
+		acqLocal: map[string]bool{},
+	}
+	w := &walker{a: a, fi: fi, posEdges: map[token.Pos][]ana.CGEdge{}}
+	for _, e := range a.graph.Out[n.ID] {
+		if e.Kind.Traversal() {
+			w.posEdges[e.Pos] = append(w.posEdges[e.Pos], e)
+		}
+	}
+	held := map[string]int{}
+	w.stmts(n.Body().List, held)
+	return fi
+}
+
+type walker struct {
+	a        *analysis
+	fi       *fnInfo
+	posEdges map[token.Pos][]ana.CGEdge
+}
+
+func (w *walker) stmts(stmts []ast.Stmt, held map[string]int) {
+	for _, s := range stmts {
+		w.stmt(s, held)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, held map[string]int) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.scan(s.Cond, held)
+		then := cloneHeld(held)
+		w.stmts(s.Body.List, then)
+		other := cloneHeld(held)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			w.stmts(e.List, other)
+		case *ast.IfStmt:
+			w.stmt(e, other)
+		}
+		mergeHeld(held, then, other)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.scan(s.Cond, held)
+		body := cloneHeld(held)
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.scan(s.X, held)
+		body := cloneHeld(held)
+		w.stmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.scan(s.Tag, held)
+		w.clauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.clauses(s.Body, held)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				arm := cloneHeld(held)
+				w.stmts(cc.Body, arm)
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.DeferStmt:
+		// Deferred unlocks release at function end, so the lock stays
+		// held for every later event — exactly the linear view. A
+		// deferred call to anything else is treated as a call here.
+		if op, ok := lockutil.Classify(w.fi.node.Pkg.TypesInfo, s.Call); ok {
+			_ = op
+			return
+		}
+		w.scan(s.Call, held)
+	default:
+		w.scan(s, held)
+	}
+}
+
+func (w *walker) clauses(body *ast.BlockStmt, held map[string]int) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			arm := cloneHeld(held)
+			w.stmts(cc.Body, arm)
+		}
+	}
+}
+
+// scan processes the expressions of one leaf statement in source order:
+// lock operations mutate held, calls and guarded-field accesses record
+// events with the held snapshot.
+func (w *walker) scan(n ast.Node, held map[string]int) {
+	if n == nil {
+		return
+	}
+	info := w.fi.node.Pkg.TypesInfo
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return false // its own node
+		case *ast.CallExpr:
+			if op, ok := lockutil.Classify(info, nd); ok {
+				class := w.a.classOf(info, op)
+				if op.Acquire {
+					w.fi.acqLocal[class] = true
+					w.a.noteLockName(w.fi.node.Pkg.PkgPath, classBase(class))
+					w.record(event{kind: evAcquire, class: class, held: heldList(held), pos: nd.Pos()})
+					held[class]++
+				} else if held[class] > 0 {
+					held[class]--
+				}
+				return false // don't scan mu.Lock's receiver as access
+			}
+			if edges := w.posEdges[nd.Pos()]; len(edges) > 0 {
+				callees := make([]string, 0, len(edges))
+				for _, e := range edges {
+					callees = append(callees, e.Callee)
+				}
+				sort.Strings(callees)
+				w.record(event{kind: evCall, callees: callees, held: heldList(held), pos: nd.Pos()})
+			}
+		case *ast.SelectorExpr:
+			obj := info.Uses[nd.Sel]
+			if _, guarded := w.a.guards[obj]; guarded {
+				w.record(event{kind: evAccess, obj: obj, held: heldList(held), pos: nd.Sel.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) record(e event) { w.fi.events = append(w.fi.events, e) }
+
+// classOf resolves a lock operation to its program-wide class, falling
+// back to a function-local identity for locks with no global home.
+func (a *analysis) classOf(info *types.Info, op lockutil.Op) string {
+	if class, ok := lockutil.ClassOf(info, op.Recv); ok {
+		return class
+	}
+	return "local:" + strings.TrimSuffix(strings.TrimSuffix(op.Key, "/w"), "/r")
+}
+
+func cloneHeld(m map[string]int) map[string]int {
+	c := make(map[string]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// mergeHeld folds branch results back into held as the per-class max:
+// lockdiscipline enforces that branches re-converge, so max equals
+// either arm on discipline-clean code and stays conservative otherwise.
+func mergeHeld(held map[string]int, arms ...map[string]int) {
+	for _, arm := range arms {
+		for k, v := range arm {
+			if v > held[k] {
+				held[k] = v
+			}
+		}
+	}
+}
+
+func heldList(held map[string]int) []string {
+	out := make([]string, 0, len(held))
+	for k, v := range held {
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// noteLockName records that pkg uses a lock with this base name, which
+// makes `holds <name>` claims in that package meaningful.
+func (a *analysis) noteLockName(pkgPath, name string) {
+	m := a.pkgLocks[pkgPath]
+	if m == nil {
+		m = map[string]bool{}
+		a.pkgLocks[pkgPath] = m
+	}
+	m[name] = true
+}
+
+// pruneProseClaims drops `holds <word>` matches that do not name a lock
+// the claiming function's package actually uses: doc sentences like
+// "holds only the p50/p99 rows" or the analyzer documentation's own
+// examples must not become claims to verify.
+func (a *analysis) pruneProseClaims() {
+	for _, id := range a.ids {
+		fi := a.fns[id]
+		if len(fi.docHolds) == 0 {
+			continue
+		}
+		names := a.pkgLocks[fi.node.Pkg.PkgPath]
+		for claim := range fi.docHolds {
+			if !names[claim] {
+				delete(fi.docHolds, claim)
+			}
+		}
+	}
+}
+
+// fixpointEntryHolds computes, per function, the lock names held at
+// EVERY entry: the intersection over all call sites of what is held
+// there (plus the caller's own entry set and claims). A function also
+// callable from outside the analyzed scope — or with no callers at all
+// — starts with the empty set. Greatest fixpoint: start full, shrink.
+func (a *analysis) fixpointEntryHolds() {
+	universe := map[string]bool{}
+	for _, names := range a.pkgLocks {
+		for n := range names {
+			universe[n] = true
+		}
+	}
+
+	// Call sites per callee, from the summaries (scoped callers only).
+	type site struct {
+		caller string
+		held   []string
+	}
+	sites := map[string][]site{}
+	for _, id := range a.ids {
+		for _, ev := range a.fns[id].events {
+			if ev.kind != evCall {
+				continue
+			}
+			for _, callee := range ev.callees {
+				sites[callee] = append(sites[callee], site{caller: id, held: ev.held})
+			}
+		}
+	}
+
+	open := map[string]bool{} // callable from outside the summaries
+	for _, id := range a.ids {
+		hasUnscoped := false
+		for _, e := range a.graph.In[id] {
+			if e.Kind.Traversal() {
+				if _, ok := a.fns[e.Caller]; !ok {
+					hasUnscoped = true
+					break
+				}
+			}
+		}
+		if hasUnscoped || len(sites[id]) == 0 {
+			open[id] = true
+		}
+	}
+
+	for _, id := range a.ids {
+		if open[id] {
+			a.entry[id] = map[string]bool{}
+		} else {
+			full := make(map[string]bool, len(universe))
+			for n := range universe {
+				full[n] = true
+			}
+			a.entry[id] = full
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range a.ids {
+			if open[id] {
+				continue
+			}
+			cur := a.entry[id]
+			for n := range cur {
+				ok := true
+				for _, s := range sites[id] {
+					if heldHasBase(s.held, n) || a.fns[s.caller].docHolds[n] || a.entry[s.caller][n] {
+						continue
+					}
+					ok = false
+					break
+				}
+				if !ok {
+					delete(cur, n)
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// --- interprocedural acquisition sets ---------------------------------------
+
+// fixpointAcq computes AcqStar: every lock class a function may acquire
+// directly or through any chain of traversal edges.
+func (a *analysis) fixpointAcq() {
+	for _, id := range a.ids {
+		set := map[string]bool{}
+		for c := range a.fns[id].acqLocal {
+			set[c] = true
+		}
+		a.acq[id] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range a.ids {
+			set := a.acq[id]
+			for _, ev := range a.fns[id].events {
+				if ev.kind != evCall {
+					continue
+				}
+				for _, callee := range ev.callees {
+					for c := range a.acq[callee] {
+						if !set[c] {
+							set[c] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// buildOrderEdges turns every "B acquired (possibly via calls) while A
+// held" pair into an order edge A -> B, keeping the first witness.
+func (a *analysis) buildOrderEdges() {
+	for _, id := range a.ids {
+		for _, ev := range a.fns[id].events {
+			switch ev.kind {
+			case evAcquire:
+				for _, h := range ev.held {
+					a.addOrderEdge(h, ev.class, ev.pos, "")
+				}
+			case evCall:
+				if len(ev.held) == 0 {
+					continue
+				}
+				for _, callee := range ev.callees {
+					for _, c := range sortedSet(a.acq[callee]) {
+						for _, h := range ev.held {
+							a.addOrderEdge(h, c, ev.pos, callee)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (a *analysis) addOrderEdge(from, to string, pos token.Pos, via string) {
+	k := [2]string{from, to}
+	if _, ok := a.edges[k]; ok {
+		return
+	}
+	a.edges[k] = &orderEdge{from: from, to: to, pos: pos, via: via}
+}
+
+// --- cycle detection --------------------------------------------------------
+
+// reportCycles runs Tarjan's SCC over the order graph and reports each
+// nontrivial SCC (or self-loop) once, with a full lock path.
+func (a *analysis) reportCycles() {
+	succ := map[string][]string{}
+	nodes := map[string]bool{}
+	for k := range a.edges {
+		nodes[k[0]], nodes[k[1]] = true, true
+	}
+	ids := sortedSet(nodes)
+	for _, id := range ids {
+		var out []string
+		for k := range a.edges {
+			if k[0] == id {
+				out = append(out, k[1])
+			}
+		}
+		sort.Strings(out)
+		succ[id] = out
+	}
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, wv := range succ[v] {
+			if _, seen := index[wv]; !seen {
+				strongconnect(wv)
+				if low[wv] < low[v] {
+					low[v] = low[wv]
+				}
+			} else if onStack[wv] && index[wv] < low[v] {
+				low[v] = index[wv]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range ids {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	for _, scc := range sccs {
+		if len(scc) == 1 {
+			if _, self := a.edges[[2]string{scc[0], scc[0]}]; !self {
+				continue
+			}
+		}
+		a.reportCycle(scc)
+	}
+}
+
+// reportCycle reconstructs one concrete cycle through the SCC and
+// reports it at the first edge's witness position.
+func (a *analysis) reportCycle(scc []string) {
+	in := map[string]bool{}
+	for _, c := range scc {
+		in[c] = true
+	}
+	// DFS from the smallest class back to itself, within the SCC.
+	start := scc[0]
+	var path []string
+	var dfs func(v string) bool
+	visited := map[string]bool{}
+	dfs = func(v string) bool {
+		path = append(path, v)
+		for _, w := range sortedSuccIn(a.edges, v, in) {
+			if w == start && (len(path) > 1 || v == start) {
+				return true
+			}
+			if !visited[w] {
+				visited[w] = true
+				if dfs(w) {
+					return true
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	if !dfs(start) {
+		path = scc // fallback: list the SCC members
+	}
+
+	var sb strings.Builder
+	sb.WriteString("lock-order cycle: ")
+	sb.WriteString(lockutil.ShortClass(path[0]))
+	for i := 1; i <= len(path); i++ {
+		from := path[i-1]
+		to := path[i%len(path)]
+		e := a.edges[[2]string{from, to}]
+		sb.WriteString(" -> ")
+		sb.WriteString(lockutil.ShortClass(to))
+		if e != nil {
+			sb.WriteString(" (")
+			sb.WriteString(a.shortPos(e.pos))
+			if e.via != "" {
+				sb.WriteString(" via ")
+				sb.WriteString(shortNode(e.via))
+			}
+			sb.WriteString(")")
+		}
+	}
+	sb.WriteString(": potential deadlock")
+	pos := token.NoPos
+	if e := a.edges[[2]string{path[0], path[1%len(path)]}]; e != nil {
+		pos = e.pos
+	}
+	a.pass.Reportf(pos, "%s", sb.String())
+}
+
+func sortedSuccIn(edges map[[2]string]*orderEdge, v string, in map[string]bool) []string {
+	var out []string
+	for k := range edges {
+		if k[0] == v && in[k[1]] {
+			out = append(out, k[1])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- holds-claim verification -----------------------------------------------
+
+// checkHoldsClaims verifies each `holds <lock>` doc claim at every call
+// site: some held lock class's base name (or the caller's own claim)
+// must match.
+func (a *analysis) checkHoldsClaims() {
+	for _, id := range a.ids {
+		fi := a.fns[id]
+		for _, ev := range fi.events {
+			if ev.kind != evCall {
+				continue
+			}
+			for _, callee := range ev.callees {
+				cf := a.fns[callee]
+				if cf == nil {
+					continue
+				}
+				for _, name := range sortedSet(cf.docHolds) {
+					if heldHasBase(ev.held, name) || fi.docHolds[name] || a.entry[id][name] {
+						continue
+					}
+					a.pass.Reportf(ev.pos, "call to %s, which declares `holds %s`, but no lock named %s is held here",
+						shortNode(callee), name, name)
+				}
+			}
+		}
+	}
+}
+
+func heldHasBase(held []string, name string) bool {
+	for _, c := range held {
+		if classBase(c) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// classBase maps a lock class to its field/variable name:
+// "daxvm/internal/mm.MM.Sem" -> "Sem".
+func classBase(class string) string {
+	if i := strings.LastIndexByte(class, '.'); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}
+
+// --- interprocedural guarded-by ---------------------------------------------
+
+// checkGuardedFields reports guarded-field accesses where the lock is
+// unheld at the access point and the function is reachable bare.
+func (a *analysis) checkGuardedFields() {
+	bare := map[string]map[string]bool{} // lock name -> node -> entered bare
+	reported := map[string]bool{}
+	for _, id := range a.ids {
+		fi := a.fns[id]
+		for _, ev := range fi.events {
+			if ev.kind != evAccess {
+				continue
+			}
+			lock := a.guards[ev.obj]
+			if heldHasBase(ev.held, lock) || a.entry[id][lock] {
+				continue
+			}
+			if fi.docHolds[lock] {
+				// The claim is verified at every call site by
+				// checkHoldsClaims; trust it here.
+				continue
+			}
+			eb := bare[lock]
+			if eb == nil {
+				eb = a.enteredBare(lock)
+				bare[lock] = eb
+			}
+			if !eb[id] {
+				continue // every entry path holds the lock
+			}
+			key := fmt.Sprintf("%s|%v", id, ev.obj)
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			trace := a.bareTrace(lock, eb, id)
+			a.pass.Reportf(ev.pos, "field %s is guarded by %s, but %s can be entered with %s unheld%s",
+				ev.obj.Name(), lock, shortNode(id), lock, trace)
+		}
+	}
+}
+
+// enteredBare computes, for one lock name, which functions can be
+// entered with no lock of that name held: roots without in-edges start
+// bare (unless their doc claims holds), and bareness propagates through
+// call sites where the name is unheld.
+func (a *analysis) enteredBare(lock string) map[string]bool {
+	eb := map[string]bool{}
+	for _, id := range a.ids {
+		hasCaller := false
+		for _, e := range a.graph.In[id] {
+			if e.Kind.Traversal() {
+				if _, ok := a.fns[e.Caller]; ok {
+					hasCaller = true
+				}
+			}
+		}
+		if !hasCaller && !a.fns[id].docHolds[lock] {
+			eb[id] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range a.ids {
+			if !eb[id] {
+				continue
+			}
+			for _, ev := range a.fns[id].events {
+				if ev.kind != evCall || heldHasBase(ev.held, lock) {
+					continue
+				}
+				for _, callee := range ev.callees {
+					if _, ok := a.fns[callee]; ok && !eb[callee] {
+						eb[callee] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return eb
+}
+
+// bareTrace builds a short "entered bare via ..." chain for the report.
+func (a *analysis) bareTrace(lock string, eb map[string]bool, target string) string {
+	// BFS from bare roots to target along bare call sites.
+	prev := map[string]string{}
+	var queue []string
+	for _, id := range a.ids {
+		hasCaller := false
+		for _, e := range a.graph.In[id] {
+			if e.Kind.Traversal() {
+				if _, ok := a.fns[e.Caller]; ok {
+					hasCaller = true
+				}
+			}
+		}
+		if !hasCaller && eb[id] {
+			queue = append(queue, id)
+			prev[id] = ""
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if id == target {
+			break
+		}
+		for _, ev := range a.fns[id].events {
+			if ev.kind != evCall || heldHasBase(ev.held, lock) {
+				continue
+			}
+			for _, callee := range ev.callees {
+				if _, seen := prev[callee]; seen {
+					continue
+				}
+				if _, ok := a.fns[callee]; !ok {
+					continue
+				}
+				prev[callee] = id
+				queue = append(queue, callee)
+			}
+		}
+	}
+	if _, ok := prev[target]; !ok {
+		return ""
+	}
+	var chain []string
+	for id := target; id != ""; id = prev[id] {
+		chain = append(chain, shortNode(id))
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	if len(chain) <= 1 {
+		return ""
+	}
+	return " (entered via " + strings.Join(chain, " -> ") + ")"
+}
+
+// --- output helpers ---------------------------------------------------------
+
+func (a *analysis) shortPos(pos token.Pos) string {
+	p := a.pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func shortNode(id string) string {
+	n := &ana.CGNode{ID: id}
+	return n.ShortName()
+}
+
+// writeDot dumps the acquisition-order graph in DOT format.
+func (a *analysis) writeDot(w io.Writer) {
+	keys := make([][2]string, 0, len(a.edges))
+	for k := range a.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	fmt.Fprintln(w, "digraph lockorder {")
+	fmt.Fprintln(w, "  rankdir=LR;")
+	for _, k := range keys {
+		e := a.edges[k]
+		label := a.shortPos(e.pos)
+		if e.via != "" {
+			label += " via " + shortNode(e.via)
+		}
+		fmt.Fprintf(w, "  %q -> %q [label=%q];\n",
+			lockutil.ShortClass(k[0]), lockutil.ShortClass(k[1]), label)
+	}
+	fmt.Fprintln(w, "}")
+}
+
+func sortedSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"daxvm/tools/simlint/analyzers/lockorder"
+	"daxvm/tools/simlint/anatest"
+)
+
+func TestLockOrder(t *testing.T) {
+	anatest.Run(t, "testdata", lockorder.Analyzer, "cycle", "clean", "guarded")
+}

@@ -1,0 +1,30 @@
+// Package clean acquires its locks in one consistent order from every
+// path, so the acquisition-order graph is acyclic and lockorder stays
+// silent.
+package clean
+
+import "daxvm/tools/simlint/teststub/sim"
+
+type pair struct {
+	a sim.Mutex
+	b sim.Mutex
+}
+
+func first(t *sim.Thread, p *pair) {
+	p.a.Lock(t, 10)
+	p.b.Lock(t, 10)
+	p.b.Unlock(t, 10)
+	p.a.Unlock(t, 10)
+}
+
+func second(t *sim.Thread, p *pair) {
+	p.a.Lock(t, 10)
+	p.b.Lock(t, 10)
+	p.b.Unlock(t, 10)
+	p.a.Unlock(t, 10)
+}
+
+func onlyB(t *sim.Thread, p *pair) {
+	p.b.Lock(t, 10)
+	p.b.Unlock(t, 10)
+}

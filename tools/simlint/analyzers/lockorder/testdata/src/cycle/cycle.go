@@ -1,0 +1,29 @@
+// Package cycle seeds a two-lock acquisition-order cycle, one edge
+// direct and one through a helper call, so the report carries the full
+// lock path with its witness positions.
+package cycle
+
+import "daxvm/tools/simlint/teststub/sim"
+
+type pair struct {
+	a sim.Mutex
+	b sim.Mutex
+}
+
+func abOrder(t *sim.Thread, p *pair) {
+	p.a.Lock(t, 10)
+	p.b.Lock(t, 10) // want `lock-order cycle: cycle\.pair\.a -> cycle\.pair\.b \(cycle\.go:\d+\) -> cycle\.pair\.a \(cycle\.go:\d+ via cycle\.touchA\): potential deadlock`
+	p.b.Unlock(t, 10)
+	p.a.Unlock(t, 10)
+}
+
+func baOrder(t *sim.Thread, p *pair) {
+	p.b.Lock(t, 10)
+	touchA(t, p)
+	p.b.Unlock(t, 10)
+}
+
+func touchA(t *sim.Thread, p *pair) {
+	p.a.Lock(t, 10)
+	p.a.Unlock(t, 10)
+}

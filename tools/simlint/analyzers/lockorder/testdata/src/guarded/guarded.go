@@ -1,0 +1,39 @@
+// Package guarded exercises the interprocedural guarded-by and
+// holds-claim checks: a helper that touches a guarded field is flagged
+// when some caller reaches it without the lock, and a `holds` claim is
+// verified at every call site.
+package guarded
+
+import "daxvm/tools/simlint/teststub/sim"
+
+type table struct {
+	mu sim.Mutex
+	// guarded by mu
+	entries int
+}
+
+func locked(t *sim.Thread, tb *table) {
+	tb.mu.Lock(t, 10)
+	bump(tb)
+	bumpHeld(tb)
+	tb.mu.Unlock(t, 10)
+}
+
+func bare(t *sim.Thread, tb *table) {
+	bump(tb)
+}
+
+func bump(tb *table) {
+	tb.entries++ // want `field entries is guarded by mu, but guarded\.bump can be entered with mu unheld`
+}
+
+// bumpHeld touches the table; callers are checked against the claim.
+//
+// holds mu
+func bumpHeld(tb *table) {
+	tb.entries++
+}
+
+func callsBare(t *sim.Thread, tb *table) {
+	bumpHeld(tb) // want `call to guarded\.bumpHeld, which declares .holds mu., but no lock named mu is held here`
+}

@@ -1,0 +1,198 @@
+// Package lockutil is the shared lock-site vocabulary for the
+// lockdiscipline and lockorder analyzers: which types count as
+// instrumented locks, how a call site is classified as an
+// acquire/release, how `guarded by <lock>` field annotations and
+// `holds <lock>` doc-comment claims are parsed, and how a lock
+// receiver expression maps to a program-wide lock class.
+package lockutil
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockTypes maps package NAME (not path — fixtures use a stub `sim`
+// package, and the real one is daxvm/internal/sim) to the type names
+// that count as locks.
+var LockTypes = map[string]map[string]bool{
+	"sim":  {"Mutex": true, "SpinLock": true, "RWSem": true},
+	"sync": {"Mutex": true, "RWMutex": true},
+}
+
+// MethodOps maps lock method names to their mode and direction.
+var MethodOps = map[string]struct {
+	Mode    string // "w" or "r"
+	Acquire bool
+}{
+	"Lock":    {"w", true},
+	"Unlock":  {"w", false},
+	"RLock":   {"r", true},
+	"RUnlock": {"r", false},
+}
+
+// GuardedRe extracts the lock name from a `guarded by <lock>` comment.
+var GuardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+var holdsRe = regexp.MustCompile(`holds (\w+)`)
+
+// Op describes one acquire/release call site.
+type Op struct {
+	Key     string // textual receiver + "/" + mode, e.g. "m.mu/w"
+	Mode    string
+	Acquire bool
+	Recv    ast.Expr // the lock receiver expression (sel.X)
+}
+
+// Classify resolves call to a lock operation, or ok=false.
+func Classify(info *types.Info, call *ast.CallExpr) (Op, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return Op{}, false
+	}
+	mop, ok := MethodOps[sel.Sel.Name]
+	if !ok {
+		return Op{}, false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return Op{}, false
+	}
+	names := LockTypes[fn.Pkg().Name()]
+	if names == nil {
+		return Op{}, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return Op{}, false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !names[named.Obj().Name()] {
+		return Op{}, false
+	}
+	return Op{
+		Key:     types.ExprString(sel.X) + "/" + mop.Mode,
+		Mode:    mop.Mode,
+		Acquire: mop.Acquire,
+		Recv:    sel.X,
+	}, true
+}
+
+// BaseName returns the last selector component of a key like "r.mu/w".
+func BaseName(key string) string {
+	key = strings.TrimSuffix(strings.TrimSuffix(key, "/w"), "/r")
+	if i := strings.LastIndex(key, "."); i >= 0 {
+		key = key[i+1:]
+	}
+	return key
+}
+
+// HoldsFromDoc extracts lock names a doc comment declares as held, e.g.
+// "reconcile holds mu and walks the leaf map."
+func HoldsFromDoc(doc string) map[string]bool {
+	held := map[string]bool{}
+	for _, m := range holdsRe.FindAllStringSubmatch(doc, -1) {
+		held[m[1]] = true
+	}
+	return held
+}
+
+// CollectGuards maps struct field objects annotated `guarded by <name>`
+// to the lock field's name, scanning the given files.
+func CollectGuards(info *types.Info, files []*ast.File) map[types.Object]string {
+	guards := map[types.Object]string{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				var text string
+				if field.Doc != nil {
+					text += field.Doc.Text()
+				}
+				if field.Comment != nil {
+					text += field.Comment.Text()
+				}
+				m := GuardedRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						guards[obj] = m[1]
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// ClassOf maps a lock receiver expression to a program-wide lock class:
+// `<pkgpath>.<Type>.<field>` for a lock held in a struct field (every
+// instance of the struct shares the class) or `<pkgpath>.<var>` for a
+// package-level lock variable. ok is false for receivers with no global
+// identity (e.g. a lock in a local variable).
+func ClassOf(info *types.Info, recv ast.Expr) (string, bool) {
+	e := ast.Unparen(recv)
+	for {
+		switch v := e.(type) {
+		case *ast.UnaryExpr:
+			e = ast.Unparen(v.X)
+			continue
+		case *ast.StarExpr:
+			e = ast.Unparen(v.X)
+			continue
+		}
+		break
+	}
+	switch v := e.(type) {
+	case *ast.SelectorExpr:
+		fobj, ok := info.Uses[v.Sel].(*types.Var)
+		if ok && fobj.IsField() {
+			owner := info.TypeOf(v.X)
+			for {
+				if p, ok := owner.(*types.Pointer); ok {
+					owner = p.Elem()
+					continue
+				}
+				break
+			}
+			if named, ok := owner.(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil {
+					return obj.Pkg().Path() + "." + obj.Name() + "." + fobj.Name(), true
+				}
+				return obj.Name() + "." + fobj.Name(), true
+			}
+			return "", false
+		}
+		// Package-qualified variable: pkg.Mu.
+		if vobj, ok := info.Uses[v.Sel].(*types.Var); ok && vobj.Pkg() != nil && vobj.Parent() == vobj.Pkg().Scope() {
+			return vobj.Pkg().Path() + "." + vobj.Name(), true
+		}
+	case *ast.Ident:
+		vobj, ok := info.Uses[v].(*types.Var)
+		if ok && vobj.Pkg() != nil && vobj.Parent() == vobj.Pkg().Scope() {
+			return vobj.Pkg().Path() + "." + vobj.Name(), true
+		}
+	}
+	return "", false
+}
+
+// ShortClass compresses a lock class for human-readable messages:
+// "daxvm/internal/mm.MM.Sem" -> "mm.MM.Sem".
+func ShortClass(class string) string {
+	if i := strings.LastIndexByte(class, '/'); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}

@@ -1,0 +1,58 @@
+// Package suppaudit keeps //lint:ignore suppressions honest. The
+// per-package analyzer here checks the directives themselves: every
+// named analyzer must exist in the suite, and every directive must give
+// a reason. The companion stale check — a directive that suppresses no
+// finding at all — needs to know what every analyzer reported, so it
+// runs in the simlint driver after the whole suite (see
+// ana.SuppressionSet.Stale); its findings carry this analyzer's name.
+//
+// suppaudit findings can only be silenced by naming suppaudit
+// explicitly: `//lint:ignore all` must not be able to hide the finding
+// that says a suppression is rotten.
+package suppaudit
+
+import (
+	"daxvm/tools/simlint/ana"
+)
+
+// Analyzer checks //lint:ignore directives for unknown analyzer names
+// and missing reasons.
+var Analyzer = &ana.Analyzer{
+	Name: "suppaudit",
+	Doc:  "report //lint:ignore directives that name an unknown analyzer or give no reason (stale-suppression audit runs in the driver)",
+	Run:  run,
+}
+
+// known is the set of analyzer names the directive may reference. The
+// driver seeds it with the suite; tests seed it with fixture names.
+var known = map[string]bool{"all": true}
+
+// SetKnown registers the analyzer names //lint:ignore may reference.
+func SetKnown(names ...string) {
+	known = map[string]bool{"all": true}
+	for _, n := range names {
+		known[n] = true
+	}
+}
+
+func run(pass *ana.Pass) error {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, reason, ok := ana.ParseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				for _, name := range names {
+					if !known[name] {
+						pass.Reportf(c.Pos(), "//lint:ignore names unknown analyzer %q (try simlint -list)", name)
+					}
+				}
+				if reason == "" {
+					pass.Reportf(c.Pos(), "//lint:ignore without a reason: say why the finding is intentional")
+				}
+			}
+		}
+	}
+	return nil
+}

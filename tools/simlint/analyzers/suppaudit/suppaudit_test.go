@@ -1,0 +1,66 @@
+package suppaudit_test
+
+import (
+	"strings"
+	"testing"
+
+	"daxvm/tools/simlint/ana"
+	"daxvm/tools/simlint/analyzers/suppaudit"
+	"daxvm/tools/simlint/anatest"
+)
+
+func TestDirectiveChecks(t *testing.T) {
+	suppaudit.SetKnown("determinism", "lockorder", "hotalloc")
+	anatest.Run(t, "testdata", suppaudit.Analyzer, "audit")
+}
+
+// TestMissingReasonAndStale drives the stale fixture by hand: the
+// reason check is a plain diagnostic, and the stale audit needs the
+// driver-side SuppressionSet plumbing that anatest does not model.
+func TestMissingReasonAndStale(t *testing.T) {
+	suppaudit.SetKnown("determinism", "lockorder", "hotalloc")
+	pkgs, err := ana.Load("testdata", "./src/stale")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	diags, err := ana.Run(suppaudit.Analyzer, pkg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "without a reason") {
+		t.Fatalf("want exactly one missing-reason diagnostic, got %v", diags)
+	}
+
+	// No analyzer suppressed anything, and "determinism" ran on the
+	// package, so both directives are stale.
+	supp := ana.CollectSuppressions(pkg)
+	stale := supp.Stale(
+		func(name string) bool { return true },
+		func(pkgPath, analyzer string) bool { return true },
+	)
+	if len(stale) != 2 {
+		t.Fatalf("want 2 stale directives, got %v", stale)
+	}
+	for _, d := range stale {
+		if d.Analyzer != "suppaudit" || !strings.Contains(d.Message, "suppresses no finding on this line") {
+			t.Errorf("unexpected stale diagnostic: %+v", d)
+		}
+		if !strings.Contains(d.Message, "stale //lint:ignore determinism") {
+			t.Errorf("stale message should name the directive: %q", d.Message)
+		}
+	}
+
+	// A directive whose analyzer did NOT run must never be called stale.
+	notRun := supp.Stale(
+		func(name string) bool { return true },
+		func(pkgPath, analyzer string) bool { return false },
+	)
+	if len(notRun) != 0 {
+		t.Errorf("directives must not be stale when their analyzer did not run, got %v", notRun)
+	}
+}

@@ -1,0 +1,11 @@
+// Package audit exercises the suppaudit directive checks: unknown
+// analyzer names are reported, and `all` cannot hide the report.
+package audit
+
+var (
+	a = 1 //lint:ignore nosuchcheck misspelled names must be caught // want `//lint:ignore names unknown analyzer "nosuchcheck" \(try simlint -list\)`
+	b = 2 //lint:ignore all,badname the all alias must not hide this // want `//lint:ignore names unknown analyzer "badname" \(try simlint -list\)`
+	c = 3 //lint:ignore determinism a known name with a reason is fine
+)
+
+var _, _, _ = a, b, c

@@ -1,0 +1,9 @@
+// Package stale feeds the missing-reason check and the driver-side
+// stale-suppression audit: neither directive below suppresses anything.
+package stale
+
+var x = 1 //lint:ignore determinism
+
+var y = 2 //lint:ignore determinism nothing on this line trips determinism
+
+var _, _ = x, y

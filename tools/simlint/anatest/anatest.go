@@ -48,12 +48,33 @@ func Run(t *testing.T, testdata string, a *ana.Analyzer, fixtures ...string) {
 		t.Fatalf("loaded %d packages, want %d", len(pkgs), len(fixtures))
 	}
 	for _, pkg := range pkgs {
-		diags, err := ana.Run(a, pkg)
+		diags, err := runOne(a, pkg)
 		if err != nil {
 			t.Fatalf("%s: %v", pkg.PkgPath, err)
 		}
 		checkPackage(t, pkg, diags)
 	}
+}
+
+// runOne applies a to one fixture package. Whole-program analyzers see
+// a single-package program (each fixture is its own little world), with
+// suppressions filtered the same way the driver filters them.
+func runOne(a *ana.Analyzer, pkg *ana.Package) ([]ana.Diagnostic, error) {
+	if !a.WholeProgram {
+		return ana.Run(a, pkg)
+	}
+	prog := ana.NewProgram([]*ana.Package{pkg})
+	marked, err := ana.RunProgramMarked(a, prog, ana.CollectSuppressions(pkg))
+	if err != nil {
+		return nil, err
+	}
+	var diags []ana.Diagnostic
+	for _, md := range marked {
+		if !md.Suppressed {
+			diags = append(diags, md.Diagnostic)
+		}
+	}
+	return diags, nil
 }
 
 func checkPackage(t *testing.T, pkg *ana.Package, diags []ana.Diagnostic) {

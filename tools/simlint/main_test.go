@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEverySuiteAnalyzerHasFixtures pins the suite to its regression
+// fixtures: adding an analyzer without a testdata tree fails here, not
+// months later when the first false positive ships.
+func TestEverySuiteAnalyzerHasFixtures(t *testing.T) {
+	stock := map[string]bool{"shadow": true, "nilness": true, "unusedwrite": true}
+	for _, c := range suite {
+		name := c.analyzer.Name
+		dir := filepath.Join("analyzers", name, "testdata", "src")
+		if stock[name] {
+			dir = filepath.Join("stock", "testdata", "src", name)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("analyzer %s: no fixture tree at %s: %v", name, dir, err)
+			continue
+		}
+		if len(entries) == 0 {
+			t.Errorf("analyzer %s: fixture tree %s is empty", name, dir)
+		}
+	}
+}
