@@ -31,23 +31,30 @@
 // events/sec) and embeds it in the artifact's `host` block — the only
 // artifact field that varies between runs of the same build.
 //
+// Runs with any export flag also print each experiment segment's
+// bottleneck verdict (the saturation reports the artifact embeds).
+//
 // Compare exits 0 when the new artifact is within tolerance of the old,
 // 1 on regression, 2 when the artifacts are not comparable (different
-// experiment or config) or unreadable. Host-speed deltas print as
-// informational lines and never affect the exit code. Validate exits 0
-// when every named artifact parses and passes schema checks, 1 otherwise.
+// experiment or config) or unreadable. Host-speed deltas and saturation
+// verdict changes print as informational lines and never affect the
+// exit code. Validate exits 0 when every named artifact parses and
+// passes schema checks, 1 otherwise.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"daxvm/internal/bench"
 	"daxvm/internal/cost"
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/bottleneck"
 	"daxvm/internal/obs/span"
 	"daxvm/internal/obs/timeline"
 )
@@ -298,6 +305,7 @@ func (r *runner) runOne(e bench.Experiment) {
 			span.WriteTable(os.Stdout, seg)
 			fmt.Println()
 		}
+		printSaturation(os.Stdout, r.opts, e.ID)
 	}
 
 	if r.metricsDir == "" {
@@ -312,6 +320,31 @@ func (r *runner) runOne(e bench.Experiment) {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "[metrics: %s]\n", path)
+}
+
+// printSaturation prints the bottleneck verdict for the experiment's
+// timeline segment and any "<id>/..." sub-segments (sweep experiments
+// record one per point) — the same reports the artifact embeds.
+func printSaturation(w io.Writer, o bench.Options, id string) {
+	printed := false
+	for _, ex := range o.Timeline.Export() {
+		if ex.Segment != id && !strings.HasPrefix(ex.Segment, id+"/") {
+			continue
+		}
+		var sp *span.SegmentExport
+		if seg, ok := o.Spans.ExportSegment(ex.Segment); ok {
+			sp = &seg
+		}
+		rep := bottleneck.Analyze(ex, sp)
+		if !printed {
+			fmt.Fprintf(w, "-- saturation (%s) --\n", id)
+			printed = true
+		}
+		fmt.Fprintf(w, "  %-20s %s\n", ex.Segment, rep.Verdict)
+	}
+	if printed {
+		fmt.Fprintln(w)
+	}
 }
 
 // printLatency prints the p50/p99 of one latency histogram's delta.

@@ -8,8 +8,10 @@ import (
 	"math"
 	"os"
 	"runtime/debug"
+	"strings"
 
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/bottleneck"
 	"daxvm/internal/obs/span"
 	"daxvm/internal/obs/timeline"
 )
@@ -17,11 +19,14 @@ import (
 // ArtifactSchema identifies the current per-experiment JSON artifact
 // format. v2 added provenance (git_sha, config_hash) and the cycle
 // breakdown; v3 added the timeline section and the host telemetry
-// block; v4 adds the critical_path and exemplars sections from the
-// span layer. Older artifacts remain readable (ValidateArtifact
-// accepts v1–v4).
+// block; v4 added the critical_path and exemplars sections from the
+// span layer; v5 adds the saturation section (per-segment bottleneck
+// reports) and lets an experiment embed sub-segments named
+// "<id>/<suffix>". Older artifacts remain readable (ValidateArtifact
+// accepts v1–v5).
 const (
-	ArtifactSchema   = "daxvm-bench/v4"
+	ArtifactSchema   = "daxvm-bench/v5"
+	ArtifactSchemaV4 = "daxvm-bench/v4"
 	ArtifactSchemaV3 = "daxvm-bench/v3"
 	ArtifactSchemaV2 = "daxvm-bench/v2"
 	ArtifactSchemaV1 = "daxvm-bench/v1"
@@ -34,7 +39,9 @@ const (
 // experiment alone; Timeline, when present, holds this experiment's
 // interval samples; CriticalPath and Exemplars, when present, hold the
 // span layer's per-op-class latency decomposition and top-K slowest
-// span trees. Every field except Host is a pure function of the build:
+// span trees; Saturation, when present, holds one bottleneck report
+// per embedded timeline segment. Every field except Host is a pure
+// function of the build:
 // two runs of the same binary produce byte-identical artifacts up to
 // the host block, which is measured outside the deterministic core.
 type Artifact struct {
@@ -51,6 +58,7 @@ type Artifact struct {
 	Timeline       []timeline.Export      `json:"timeline,omitempty"`
 	CriticalPath   []span.ClassExport     `json:"critical_path,omitempty"`
 	Exemplars      map[string][]span.Span `json:"exemplars,omitempty"`
+	Saturation     []bottleneck.Report    `json:"saturation,omitempty"`
 	Host           *HostTelemetry         `json:"host,omitempty"`
 }
 
@@ -87,12 +95,22 @@ func NewArtifact(r *Result, o Options, snap *obs.Snapshot, cycles *obs.CycleSnap
 		CycleBreakdown: cycles,
 	}
 	if o.Timeline != nil {
-		// A shared timeline accumulates one segment per experiment; the
-		// artifact embeds only this experiment's.
+		// A shared timeline accumulates segments across experiments; the
+		// artifact embeds this experiment's own segment plus any
+		// sub-segments it opened ("<id>/<suffix>", e.g. one per sweep
+		// point), and attributes a bottleneck per embedded segment.
 		for _, ex := range o.Timeline.Export() {
-			if ex.Segment == r.ID {
-				a.Timeline = append(a.Timeline, ex)
+			if ex.Segment != r.ID && !strings.HasPrefix(ex.Segment, r.ID+"/") {
+				continue
 			}
+			a.Timeline = append(a.Timeline, ex)
+			var sp *span.SegmentExport
+			if o.Spans != nil {
+				if seg, ok := o.Spans.ExportSegment(ex.Segment); ok {
+					sp = &seg
+				}
+			}
+			a.Saturation = append(a.Saturation, bottleneck.Analyze(ex, sp))
 		}
 	}
 	if o.Spans != nil {
@@ -148,10 +166,10 @@ func (a *Artifact) WriteArtifact(w io.Writer) error {
 
 // ValidateArtifact checks raw bytes against the artifact schema:
 // required fields present with the right JSON types, schema id matching
-// (v1–v4), metric values finite numbers, and version-gated sections
-// (timeline/host need v3+, critical_path/exemplars need v4).
-// Hand-rolled — the toolchain has no JSON Schema validator and the
-// format is small enough not to want one.
+// (v1–v5), metric values finite numbers, and version-gated sections
+// (timeline/host need v3+, critical_path/exemplars need v4+,
+// saturation needs v5). Hand-rolled — the toolchain has no JSON Schema
+// validator and the format is small enough not to want one.
 func ValidateArtifact(raw []byte) error {
 	var top map[string]json.RawMessage
 	if err := json.Unmarshal(raw, &top); err != nil {
@@ -162,9 +180,9 @@ func ValidateArtifact(raw []byte) error {
 		return err
 	}
 	switch schema {
-	case ArtifactSchema, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1:
+	case ArtifactSchema, ArtifactSchemaV4, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1:
 	default:
-		return fmt.Errorf("artifact: schema %q, want one of %q, %q, %q, %q", schema, ArtifactSchema, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1)
+		return fmt.Errorf("artifact: schema %q, want one of %q, %q, %q, %q, %q", schema, ArtifactSchema, ArtifactSchemaV4, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1)
 	}
 	var id, title string
 	if err := unmarshalField(top, "id", &id); err != nil {
@@ -212,7 +230,8 @@ func ValidateArtifact(raw []byte) error {
 			return fmt.Errorf("artifact: bad cycle_breakdown: %w", err)
 		}
 	}
-	v3plus := schema == ArtifactSchema || schema == ArtifactSchemaV3
+	v3plus := schema == ArtifactSchema || schema == ArtifactSchemaV4 || schema == ArtifactSchemaV3
+	v4plus := schema == ArtifactSchema || schema == ArtifactSchemaV4
 	if tlRaw, ok := top["timeline"]; ok {
 		if !v3plus {
 			return fmt.Errorf("artifact: timeline section requires schema %q or %q, got %q", ArtifactSchema, ArtifactSchemaV3, schema)
@@ -242,8 +261,8 @@ func ValidateArtifact(raw []byte) error {
 		}
 	}
 	if cpRaw, ok := top["critical_path"]; ok {
-		if schema != ArtifactSchema {
-			return fmt.Errorf("artifact: critical_path section requires schema %q, got %q", ArtifactSchema, schema)
+		if !v4plus {
+			return fmt.Errorf("artifact: critical_path section requires schema %q or %q, got %q", ArtifactSchema, ArtifactSchemaV4, schema)
 		}
 		var classes []span.ClassExport
 		if err := json.Unmarshal(cpRaw, &classes); err != nil {
@@ -272,8 +291,8 @@ func ValidateArtifact(raw []byte) error {
 		}
 	}
 	if exRaw, ok := top["exemplars"]; ok {
-		if schema != ArtifactSchema {
-			return fmt.Errorf("artifact: exemplars section requires schema %q, got %q", ArtifactSchema, schema)
+		if !v4plus {
+			return fmt.Errorf("artifact: exemplars section requires schema %q or %q, got %q", ArtifactSchema, ArtifactSchemaV4, schema)
 		}
 		var exs map[string][]span.Span
 		if err := json.Unmarshal(exRaw, &exs); err != nil {
@@ -286,6 +305,30 @@ func ValidateArtifact(raw []byte) error {
 			for i := range trees {
 				if err := validateSpanTree(&trees[i]); err != nil {
 					return fmt.Errorf("artifact: exemplar %q[%d]: %w", class, i, err)
+				}
+			}
+		}
+	}
+	if satRaw, ok := top["saturation"]; ok {
+		if schema != ArtifactSchema {
+			return fmt.Errorf("artifact: saturation section requires schema %q, got %q", ArtifactSchema, schema)
+		}
+		var reports []bottleneck.Report
+		if err := json.Unmarshal(satRaw, &reports); err != nil {
+			return fmt.Errorf("artifact: bad saturation: %w", err)
+		}
+		for i, rep := range reports {
+			if rep.Segment == "" {
+				return fmt.Errorf("artifact: saturation report %d has empty segment", i)
+			}
+			if rep.Verdict == "" {
+				return fmt.Errorf("artifact: saturation %q has empty verdict", rep.Segment)
+			}
+			for _, res := range rep.Resources {
+				for _, v := range []float64{res.Utilization, res.MeanQueue, res.Score} {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						return fmt.Errorf("artifact: saturation %q resource %q has non-finite value", rep.Segment, res.Name)
+					}
 				}
 			}
 		}

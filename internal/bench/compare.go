@@ -103,6 +103,36 @@ func CompareArtifacts(oldRaw, newRaw []byte) (*CompareReport, error) {
 	}
 
 	rep := &CompareReport{ID: oa.ID}
+	// Saturation verdicts: informational only. A bottleneck shifting
+	// (e.g. mmap_sem -> pmem_bw at some sweep point) is exactly what a
+	// perf fix is supposed to do, so it must never gate; the metric and
+	// cycle checks below catch any throughput cost. Segments present on
+	// only one side are also reported — an attribution report appearing
+	// or vanishing is worth a log line.
+	if len(oa.Saturation) > 0 || len(na.Saturation) > 0 {
+		ov := map[string]string{}
+		for _, s := range oa.Saturation {
+			ov[s.Segment] = s.Verdict
+		}
+		nv := map[string]string{}
+		for _, s := range na.Saturation {
+			nv[s.Segment] = s.Verdict
+		}
+		for _, seg := range obs.SortedKeys(ov) {
+			nw, ok := nv[seg]
+			switch {
+			case !ok:
+				rep.Info = append(rep.Info, fmt.Sprintf("saturation %s: report gone (was %q, informational)", seg, ov[seg]))
+			case nw != ov[seg]:
+				rep.Info = append(rep.Info, fmt.Sprintf("saturation %s: %q -> %q (informational)", seg, ov[seg], nw))
+			}
+		}
+		for _, seg := range obs.SortedKeys(nv) {
+			if _, ok := ov[seg]; !ok {
+				rep.Info = append(rep.Info, fmt.Sprintf("saturation %s: new report %q (informational)", seg, nv[seg]))
+			}
+		}
+	}
 	// Host speed: informational only. Wall-clock varies with host load,
 	// so it reports as a trend line in CI logs, never as a regression.
 	if oa.Host != nil && na.Host != nil && oa.Host.EventsPerSec > 0 && na.Host.EventsPerSec > 0 {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/bottleneck"
 )
 
 func mkArtifact(t *testing.T, mutate func(a *Artifact)) []byte {
@@ -182,6 +183,61 @@ func TestCompareHostInformational(t *testing.T) {
 // as lower-is-better, an experiment with a custom LowerBetter is
 // consulted per metric, and unknown ids (old baselines from renamed
 // experiments) fall back to the metric-name conventions.
+// TestCompareSaturationInformational checks that bottleneck-verdict
+// changes between artifacts surface as info lines and never gate: a
+// verdict flipping is what a perf fix looks like, so only the metric
+// and cycle checks may flip the exit code.
+func TestCompareSaturationInformational(t *testing.T) {
+	withVerdicts := func(sha string, t16 string) []byte {
+		return mkArtifact(t, func(a *Artifact) {
+			a.GitSHA = sha
+			a.Saturation = []bottleneck.Report{
+				{Segment: "ftcost/t1", Verdict: "bottleneck: pmem_bw (util 0.93, avg queue 0.4)"},
+				{Segment: "ftcost/t16", Verdict: t16},
+			}
+		})
+	}
+	old := withVerdicts("a", "bottleneck: mmap_sem (util 0.97, avg queue 11.3)")
+	new_ := withVerdicts("b", "bottleneck: pmem_bw (util 0.91, avg queue 0.2)")
+	rep, err := CompareArtifacts(old, new_)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("saturation change gated: %v", rep.Regressions)
+	}
+	var hit bool
+	for _, s := range rep.Info {
+		if strings.Contains(s, "saturation ftcost/t16") && strings.Contains(s, "mmap_sem") && strings.Contains(s, "informational") {
+			hit = true
+		}
+		if strings.Contains(s, "saturation ftcost/t1:") {
+			t.Fatalf("unchanged verdict reported: %q", s)
+		}
+	}
+	if !hit {
+		t.Fatalf("no saturation info line; info = %v", rep.Info)
+	}
+
+	// A report present on only one side is also informational.
+	rep, err = CompareArtifacts(mkArtifact(t, nil), withVerdicts("b", "bottleneck: none (no saturated resource)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("new saturation section gated: %v", rep.Regressions)
+	}
+	var added int
+	for _, s := range rep.Info {
+		if strings.Contains(s, "new report") {
+			added++
+		}
+	}
+	if added != 2 {
+		t.Fatalf("want 2 new-report info lines, got %d: %v", added, rep.Info)
+	}
+}
+
 func TestLowerBetterFromRegistry(t *testing.T) {
 	// The real cost experiments are registered via registerCost.
 	for _, id := range []string{"table2", "storage"} {

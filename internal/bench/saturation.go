@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+
+	"daxvm/internal/kernel"
+	"daxvm/internal/obs/bottleneck"
+	"daxvm/internal/obs/span"
+	"daxvm/internal/sim"
+	"daxvm/internal/workload/corpus"
+	"daxvm/internal/workload/wl"
+)
+
+func init() {
+	register("saturation", "Resource saturation sweep: PMem bandwidth to the mmap_sem knee (§V USE report)", runSaturation)
+}
+
+// runSaturation sweeps thread count over a read-once mmap workload and
+// lets the bottleneck analyzer name the saturated resource at each
+// point. The workload is weak-scaled (fixed files per thread), so the
+// constraint that binds changes with concurrency: one thread streams
+// file data and saturates the PMem read channel, while many threads
+// serialize on the mmap_sem writer side (every munmap holds it across
+// a TLB shootdown broadcast whose cost grows with core count). Each
+// sweep point records into its own "saturation/t<N>" sub-segment so
+// the per-point reports land in the artifact's saturation section.
+func runSaturation(o Options) *Result {
+	threads := []int{1, 2, 4, 8, 16}
+	perThreadFiles := 128
+	fileSize := uint64(160 << 10)
+	if o.Quick {
+		threads = []int{1, 4, 16}
+		perThreadFiles = 48
+	}
+	res := &Result{ID: "saturation", Title: "Bottleneck attribution vs threads, read-once mmap, 160 KiB files"}
+	tab := Table{Cols: []string{"threads", "MB/s", "bottleneck", "util", "avg queue", "runner-up"}}
+	// Retire the harness-opened "saturation" segment before any boot or
+	// corpus cycles land in it: only the per-point sub-segments below
+	// should reach the artifact, and a report over setup cycles would be
+	// attribution noise. The filler name has no "saturation/" prefix, so
+	// the artifact never embeds it.
+	o.Timeline.StartSegment("saturation-setup")
+	o.Spans.StartSegment("saturation-setup")
+	for _, th := range threads {
+		seg := fmt.Sprintf("saturation/t%d", th)
+		k := boot(o, wl.Mmap, th, false, kernel.Ext4, nil)
+		proc := k.NewProc()
+		n := th * perThreadFiles
+		var paths []string
+		k.Setup(func(t *sim.Thread) {
+			paths = corpus.Fixed(t, proc, "pool", n, fileSize)
+		})
+		// The sub-segment opens after corpus setup so its window covers
+		// only the measured run — setup cycles would otherwise dilute
+		// every utilization below the knee.
+		o.Timeline.StartSegment(seg)
+		o.Spans.StartSegment(seg)
+		bytes, cycles := consumeOnce(k, wl.Mmap, paths, th, kernel.KindSum)
+		tp := mbps(bytes, cycles)
+		res.Metric(fmt.Sprintf("t%d/mbps", th), tp)
+		// Close the sub-segment before the next iteration's boot/setup
+		// cycles can leak into its tail.
+		o.Timeline.StartSegment("saturation-setup")
+		o.Spans.StartSegment("saturation-setup")
+
+		rep, ok := analyzeSegment(o, seg)
+		if !ok {
+			tab.Rows = append(tab.Rows, []string{fmt.Sprintf("%d", th), fmtF(tp), "-", "-", "-", "-"})
+			o.logf("saturation t=%d: %.1f MB/s (no timeline attached, skipping attribution)", th, tp)
+			continue
+		}
+		top, next := topResources(rep)
+		res.Metric(fmt.Sprintf("t%d/top.is_mmap_sem", th), boolMetric(top.Name == "mmap_sem"))
+		res.Metric(fmt.Sprintf("t%d/top.is_pmem_bw", th), boolMetric(top.Name == "pmem_bw"))
+		res.Metric(fmt.Sprintf("t%d/mmap_sem.score", th), resourceScore(rep, "mmap_sem"))
+		res.Metric(fmt.Sprintf("t%d/pmem_bw.score", th), resourceScore(rep, "pmem_bw"))
+		res.Note("t%d: %s", th, rep.Verdict)
+		runnerUp := "-"
+		if next != nil {
+			runnerUp = fmt.Sprintf("%s (%.2f)", next.Name, next.Score)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", th), fmtF(tp), top.Name,
+			fmt.Sprintf("%.2f", top.Utilization), fmt.Sprintf("%.1f", top.MeanQueue), runnerUp,
+		})
+		o.logf("saturation t=%d: %.1f MB/s, %s", th, tp, rep.Verdict)
+	}
+	res.Tables = append(res.Tables, tab)
+	return res
+}
+
+// analyzeSegment runs the bottleneck analyzer over one just-finished
+// timeline segment (plus its span export when the span layer is on).
+// ok is false when no timeline is attached — attribution needs the
+// sampled telemetry.
+func analyzeSegment(o Options, seg string) (bottleneck.Report, bool) {
+	if o.Timeline == nil {
+		return bottleneck.Report{}, false
+	}
+	for _, ex := range o.Timeline.Export() {
+		if ex.Segment != seg {
+			continue
+		}
+		var sp *span.SegmentExport
+		if o.Spans != nil {
+			if s, ok := o.Spans.ExportSegment(seg); ok {
+				sp = &s
+			}
+		}
+		return bottleneck.Analyze(ex, sp), true
+	}
+	return bottleneck.Report{}, false
+}
+
+// topResources returns the verdict winner and the best-scoring other
+// non-advisory resource (nil when there is none).
+func topResources(rep bottleneck.Report) (top bottleneck.Resource, next *bottleneck.Resource) {
+	first := true
+	for i := range rep.Resources {
+		r := &rep.Resources[i]
+		if r.Advisory {
+			continue
+		}
+		if first {
+			top, first = *r, false
+			continue
+		}
+		if next == nil {
+			next = r
+		}
+	}
+	return top, next
+}
+
+// resourceScore looks up one resource's saturation score in a report.
+func resourceScore(rep bottleneck.Report, name string) float64 {
+	for _, r := range rep.Resources {
+		if r.Name == name {
+			return r.Score
+		}
+	}
+	return 0
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -30,6 +30,15 @@ type Set struct {
 	// per shootdown with its IPI cost typed as wait. Nil = disabled.
 	Trace *obs.Tracer
 	Spans *span.Collector
+
+	// In-flight IPI window: ipiInflight remote IPIs have acknowledgement
+	// deadlines no earlier than ipiInflightUntil. Overlapping shootdowns
+	// accumulate; once virtual time passes the deadline the window is
+	// empty. Scalar on purpose — tracking exact per-IPI deadlines would
+	// allocate on the shootdown hot path for a gauge that only needs the
+	// saturation envelope.
+	ipiInflight      uint64
+	ipiInflightUntil uint64
 }
 
 // NewSet creates n cores on a flat single-node machine.
@@ -368,10 +377,28 @@ func (s *Set) Shootdown(t *sim.Thread, initiator *Core, targets []*Core, kind Sh
 		}
 	}
 	if remote > 0 {
+		if t.Now() >= s.ipiInflightUntil {
+			s.ipiInflight = uint64(remote)
+		} else {
+			s.ipiInflight += uint64(remote)
+		}
+		s.ipiInflightUntil = t.Now() + cost.IPIAckLatency
 		initiator.Stats.ShootdownWait += cost.IPIAckLatency
 		t.ChargeAs("ipi_wait", cost.IPIAckLatency)
 	}
 	s.Trace.Emit(obs.EvShootdown, initiator.ID, began, t.Now()-began, tag, nPages)
+}
+
+// InflightIPIs reports how many remote shootdown IPIs are still awaiting
+// acknowledgement at virtual time now — the IPI saturation gauge. The
+// window is an envelope: overlapping shootdowns accumulate until the
+// latest acknowledgement deadline passes, then the count drops to zero.
+// Pure read for gauge sampling.
+func (s *Set) InflightIPIs(now uint64) uint64 {
+	if now >= s.ipiInflightUntil {
+		return 0
+	}
+	return s.ipiInflight
 }
 
 func applyInval(tb *tlb.TLB, kind ShootdownKind, pages []mem.VirtAddr, start, end mem.VirtAddr) {

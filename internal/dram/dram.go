@@ -172,5 +172,15 @@ func (p *Pool) UsedOn(node int) uint64 { return p.banks[node].used }
 // Peak reports the high-water mark in bytes.
 func (p *Pool) Peak() uint64 { return p.peak }
 
+// OccupancyPerMille reports pool usage as tenths of a percent of
+// capacity (0..1000) — integer so gauge tracks stay byte-stable. Pure
+// read for gauge sampling.
+func (p *Pool) OccupancyPerMille() uint64 { return p.used * 1000 / p.capacity }
+
+// OccupancyOnPerMille is OccupancyPerMille for one node's bank.
+func (p *Pool) OccupancyOnPerMille(node int) uint64 {
+	return p.banks[node].used * 1000 / (p.bankPages * mem.PageSize)
+}
+
 // Capacity reports the configured capacity in bytes.
 func (p *Pool) Capacity() uint64 { return p.capacity }

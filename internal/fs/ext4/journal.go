@@ -44,6 +44,10 @@ func NewJournal(dev *pmem.Device, head mem.PhysAddr, size uint64) *Journal {
 	return &Journal{dev: dev, mu: sim.NewMutex(cost.SchedWakeup), logHead: head, logSize: size}
 }
 
+// WaitQueueDepth reports how many threads are parked on the commit lock.
+// Pure read for gauge sampling.
+func (j *Journal) WaitQueueDepth() int { return j.mu.WaitQueueDepth() }
+
 // Begin starts (or joins) the running transaction.
 func (j *Journal) Begin(t *sim.Thread) {
 	j.Stats.Begins++

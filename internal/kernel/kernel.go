@@ -151,7 +151,8 @@ type Kernel struct {
 
 	procs     []*Proc
 	monitors  []*core.Monitor
-	placement topo.Policy // default per-process policy
+	placement topo.Policy   // default per-process policy
+	engines   []*sim.Engine // every engine this kernel attached (main + aging + setup), for run-queue gauges
 
 	// shared latency histograms (registered once, fed by every core/proc)
 	walkHist  *obs.Histogram
@@ -213,6 +214,9 @@ func Boot(cfg Config) *Kernel {
 		// No hub, but a timeline sampler may still ride the main engine.
 		k.attachEngine(k.Engine)
 	}
+	if cfg.Timeline != nil {
+		k.registerGauges(cfg.Timeline)
+	}
 
 	if cfg.Age {
 		ac := agefs.DefaultConfig()
@@ -254,6 +258,7 @@ func (k *Kernel) Setup(fn func(t *sim.Thread)) {
 // account, registers its totals for reconciliation and speed telemetry,
 // and rides the timeline sampler daemon on it.
 func (k *Kernel) attachEngine(e *sim.Engine) {
+	k.engines = append(k.engines, e)
 	if k.Obs != nil && k.Obs.Cycles != nil {
 		e.SetChargeSink(k.Obs.Cycles.Charge)
 		k.Obs.AddEngineTotal(e.TotalCharged)

@@ -6,6 +6,7 @@ import (
 	"daxvm/internal/cost"
 	"daxvm/internal/cpu"
 	"daxvm/internal/obs"
+	"daxvm/internal/obs/timeline"
 )
 
 // wireObs connects an observability hub to this kernel: the tracer is
@@ -109,6 +110,7 @@ func (k *Kernel) registerCounters(r *obs.Registry) {
 	r.Counter("mm.lock.read.acquisitions", k.sumProcs(func(p *Proc) uint64 { return p.MM.Sem.ReaderStats.Acquisitions }))
 	r.Counter("mm.lock.read.contended", k.sumProcs(func(p *Proc) uint64 { return p.MM.Sem.ReaderStats.Contended }))
 	r.Counter("mm.lock.read.wait_cycles", k.sumProcs(func(p *Proc) uint64 { return p.MM.Sem.ReaderStats.WaitCycles }))
+	r.Counter("mm.lock.read.hold_cycles", k.sumProcs(func(p *Proc) uint64 { return p.MM.Sem.ReaderStats.HoldCycles }))
 
 	// File systems: only the mounted one registers.
 	switch f := k.FS.(type) {
@@ -145,6 +147,7 @@ func (k *Kernel) registerCounters(r *obs.Registry) {
 	r.Counter("pmem.clwbs", func() uint64 { return dev.Stats.Clwbs })
 	r.Counter("pmem.fences", func() uint64 { return dev.Stats.Fences })
 	r.Counter("pmem.throttle_stall_cycles", func() uint64 { return dev.Stats.ThrottleStall })
+	r.Counter("pmem.bw.busy_cycles", func() uint64 { return dev.Stats.BusyCycles })
 
 	// Per-node breakdowns: only on multi-node machines, so single-node
 	// snapshots stay byte-identical to the flat model's.
@@ -157,6 +160,7 @@ func (k *Kernel) registerCounters(r *obs.Registry) {
 			r.Counter(pfx+"bytes_zeroed", func() uint64 { return ns.BytesZeroed })
 			r.Counter(pfx+"nt_stores", func() uint64 { return ns.NTStores })
 			r.Counter(pfx+"throttle_stall_cycles", func() uint64 { return ns.ThrottleStall })
+			r.Counter(pfx+"bw.busy_cycles", func() uint64 { return ns.BusyCycles })
 		}
 		for i := 0; i < k.Pool.NodeCount(); i++ {
 			node := i
@@ -224,5 +228,98 @@ func (k *Kernel) registerCounters(r *obs.Registry) {
 			}
 			return s
 		})
+	}
+}
+
+// --- saturation gauges -------------------------------------------------------
+//
+// Gauge readers are named methods (not closures) on purpose: the simlint
+// hotalloc analyzer roots them by name, proving the per-sample path never
+// allocates. Every reader is a pure snapshot — no charges, no simulated
+// state mutation — so a run with gauges attached produces bit-identical
+// metrics to one without.
+
+// gaugeRunQueue sums runnable-thread counts over every engine this kernel
+// attached; finished engines report zero.
+func (k *Kernel) gaugeRunQueue(now uint64) uint64 {
+	var s uint64
+	for _, e := range k.engines {
+		s += uint64(e.ReadyDepth())
+	}
+	return s
+}
+
+// gaugeMmapSemQueue sums mmap_sem waiter counts over live processes.
+func (k *Kernel) gaugeMmapSemQueue(now uint64) uint64 {
+	var s uint64
+	for _, p := range k.procs {
+		s += uint64(p.MM.Sem.WaitQueueDepth())
+	}
+	return s
+}
+
+// gaugeInflightIPIs reads the shootdown machinery's in-flight IPI window.
+func (k *Kernel) gaugeInflightIPIs(now uint64) uint64 {
+	return k.Cpus.InflightIPIs(now)
+}
+
+// gaugePMemBacklog sums queued transfer cycles over every PMem bank.
+func (k *Kernel) gaugePMemBacklog(now uint64) uint64 {
+	var s uint64
+	for i := 0; i < k.Dev.NodeCount(); i++ {
+		s += k.Dev.BacklogOn(i, now)
+	}
+	return s
+}
+
+// gaugeDramOccupancy reads pool fill in tenths of a percent.
+func (k *Kernel) gaugeDramOccupancy(now uint64) uint64 {
+	return k.Pool.OccupancyPerMille()
+}
+
+// gaugeJournalQueue reads the ext4 journal commit-lock queue depth.
+func (k *Kernel) gaugeJournalQueue(now uint64) uint64 {
+	f, ok := k.FS.(*ext4FS)
+	if !ok {
+		return 0
+	}
+	return uint64(f.FS.Journal().WaitQueueDepth())
+}
+
+// nodeGauge binds a per-node gauge reader to its node index; methods on a
+// named type keep the readers visible to the hotalloc analyzer.
+type nodeGauge struct {
+	k    *Kernel
+	node int
+}
+
+func (g nodeGauge) pmemBacklog(now uint64) uint64 { return g.k.Dev.BacklogOn(g.node, now) }
+
+func (g nodeGauge) dramOccupancy(now uint64) uint64 { return g.k.Pool.OccupancyOnPerMille(g.node) }
+
+// registerGauges wires every contended resource's saturation gauge onto
+// the timeline sampler. Names are the contract the bottleneck analyzer
+// (internal/obs/bottleneck) resolves; per-node tracks register only on
+// multi-node machines so single-node exports stay byte-identical to the
+// flat model's. Re-registration on a shared timeline replaces readers,
+// matching registerCounters.
+func (k *Kernel) registerGauges(tl *timeline.Timeline) {
+	tl.Gauge("rq.depth", k.gaugeRunQueue)
+	tl.Gauge("mmap_sem.queue", k.gaugeMmapSemQueue)
+	tl.Gauge("tlb.inflight_ipis", k.gaugeInflightIPIs)
+	tl.Gauge("pmem.bw.backlog", k.gaugePMemBacklog)
+	tl.Gauge("dram.occupancy", k.gaugeDramOccupancy)
+	if _, ok := k.FS.(*ext4FS); ok {
+		tl.Gauge("ext4.journal.queue", k.gaugeJournalQueue)
+	}
+	if k.Topo.Multi() {
+		for i := 0; i < k.Dev.NodeCount(); i++ {
+			g := nodeGauge{k, i}
+			tl.Gauge(fmt.Sprintf("pmem.node%d.bw.backlog", i), g.pmemBacklog)
+		}
+		for i := 0; i < k.Pool.NodeCount(); i++ {
+			g := nodeGauge{k, i}
+			tl.Gauge(fmt.Sprintf("dram.node%d.occupancy", i), g.dramOccupancy)
+		}
 	}
 }

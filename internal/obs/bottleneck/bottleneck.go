@@ -1,0 +1,262 @@
+// Package bottleneck turns the observability stack's raw saturation
+// telemetry into an automated USE-method verdict: given one experiment
+// segment's timeline export (counter deltas + sampled saturation gauges)
+// and span export (once-counted wait-kind totals), it computes each
+// contended resource's utilization and mean queue depth, ranks them by a
+// saturation score, and names the bottleneck.
+//
+// Scoring. For a resource r over a segment of W wall cycles:
+//
+//	util(r)  = busy_cycles(r) / W
+//	queue(r) = mean waiters (sampled gauge where one exists, else
+//	           wait_cycles(r)/W — Little's law: cycles threads spent
+//	           waiting per wall cycle IS the average queue depth)
+//	score(r) = util(r) × (1 + queue(r))
+//
+// The +1 keeps a busy-but-unqueued resource rankable: a channel at 95%
+// utilization with no queue still scores 0.95, while the same channel
+// with 10 waiting threads scores ~10× that. Utilization may exceed 1
+// for resources with parallel servers (the PMem read and write channels
+// book busy cycles independently).
+//
+// Cross-check. Each scored resource carries the span layer's
+// once-counted wait total for its wait kind and the Little's-law queue
+// derived from it, so the two observability layers must reconcile: for
+// charged waits (pmem_bw) the counter the score uses and the span total
+// are the same cycles booked through two independent paths and match
+// exactly; for uncharged waits (mmap_sem) the span total is the pure
+// park gap and the lock's wait_cycles counter exceeds it by exactly the
+// wakeup cost per contended acquisition. Unit tests pin both identities.
+//
+// Advisory rows (CPU run queue, DRAM occupancy) are reported but never
+// win the verdict: a deep run queue is available parallelism, not a
+// saturated resource, and would otherwise outrank every real bottleneck
+// in any experiment with more threads than cores.
+//
+// Everything is a pure function of the exports, so reports are
+// deterministic and byte-stable under JSON marshalling.
+package bottleneck
+
+import (
+	"fmt"
+
+	"daxvm/internal/obs/span"
+	"daxvm/internal/obs/timeline"
+)
+
+// Resource is one ranked row of the saturation report.
+type Resource struct {
+	// Name identifies the resource ("mmap_sem", "pmem_bw", "tlb_ipi",
+	// "cpu_runqueue", "dram").
+	Name string `json:"name"`
+	// Utilization is busy cycles per wall cycle (may exceed 1 for
+	// multi-channel resources).
+	Utilization float64 `json:"utilization"`
+	// MeanQueue is the average number of waiters the score uses.
+	MeanQueue float64 `json:"mean_queue"`
+	// MaxQueue is the worst sampled gauge instant (0 when no gauge).
+	MaxQueue uint64 `json:"max_queue,omitempty"`
+	// Score = Utilization × (1 + MeanQueue).
+	Score float64 `json:"score"`
+	// WaitKind is the span wait kind this resource maps to, if any.
+	WaitKind string `json:"wait_kind,omitempty"`
+	// SpanWaitCycles is the span layer's once-counted wait total for
+	// WaitKind — the cross-check anchor.
+	SpanWaitCycles uint64 `json:"span_wait_cycles,omitempty"`
+	// SpanMeanQueue is SpanWaitCycles/W, the Little's-law queue depth
+	// seen by the span layer.
+	SpanMeanQueue float64 `json:"span_mean_queue,omitempty"`
+	// Advisory rows inform but never win the verdict.
+	Advisory bool `json:"advisory,omitempty"`
+}
+
+// Report is one segment's bottleneck attribution.
+type Report struct {
+	Segment      string     `json:"segment"`
+	WindowCycles uint64     `json:"window_cycles"`
+	Resources    []Resource `json:"resources"`
+	// Verdict names the highest-scoring non-advisory resource, e.g.
+	// "bottleneck: mmap_sem (util 0.97, avg queue 11.3)".
+	Verdict string `json:"verdict"`
+}
+
+// Gauge track names the kernel registers (internal/kernel.registerGauges)
+// and counter names it registers (registerCounters). The analyzer is the
+// third leg of that contract.
+const (
+	gaugeMmapSemQueue  = "mmap_sem.queue"
+	gaugeInflightIPIs  = "tlb.inflight_ipis"
+	gaugeRunQueue      = "rq.depth"
+	gaugeDramOccupancy = "dram.occupancy"
+)
+
+// Analyze builds the saturation report for one segment. spans may be nil
+// (span layer disabled); the wait-total cross-check fields stay zero.
+func Analyze(ex timeline.Export, spans *span.SegmentExport) Report {
+	rep := Report{Segment: ex.Segment}
+	w := window(ex)
+	rep.WindowCycles = w
+	if w == 0 {
+		rep.Verdict = "bottleneck: none (empty segment)"
+		return rep
+	}
+	fw := float64(w)
+	counters := sumCounters(ex)
+	waits := map[string]uint64{}
+	if spans != nil {
+		waits = spans.WaitTotals
+	}
+
+	// mmap_sem: writer hold cycles over wall time — only exclusive holds
+	// consume the lock's serial capacity; reader stints run concurrently
+	// (a fault-heavy single thread books reader hold ≈ wall without any
+	// contention, which must not read as saturation). Reader pressure
+	// still surfaces through the queue term: blocked readers park on the
+	// same sampled waiter-count gauge. Queue falls back to Little's law
+	// on the lock's own wait counters when no gauge was sampled.
+	{
+		hold := counters["mm.lock.hold_cycles"]
+		mean, max, ok := gaugeStats(ex, gaugeMmapSemQueue)
+		if !ok {
+			mean = float64(counters["mm.lock.wait_cycles"]+counters["mm.lock.read.wait_cycles"]) / fw
+		}
+		rep.Resources = append(rep.Resources, scored(Resource{
+			Name:           "mmap_sem",
+			Utilization:    float64(hold) / fw,
+			MeanQueue:      mean,
+			MaxQueue:       max,
+			WaitKind:       span.WaitMmapSem.String(),
+			SpanWaitCycles: waits[span.WaitMmapSem.String()],
+		}))
+	}
+
+	// PMem bandwidth: channel busy cycles over wall time; queue is the
+	// throttle-stall total over wall time (Little's law — these are the
+	// same cycles the span layer books as pmem_bw, so the cross-check is
+	// exact).
+	{
+		rep.Resources = append(rep.Resources, scored(Resource{
+			Name:           "pmem_bw",
+			Utilization:    float64(counters["pmem.bw.busy_cycles"]) / fw,
+			MeanQueue:      float64(counters["pmem.throttle_stall_cycles"]) / fw,
+			WaitKind:       span.WaitPMemBW.String(),
+			SpanWaitCycles: waits[span.WaitPMemBW.String()],
+		}))
+	}
+
+	// TLB shootdown IPIs: the initiator's charged broadcast time is both
+	// the utilization numerator and the span layer's ipi wait kind; queue
+	// is the sampled in-flight IPI gauge.
+	{
+		mean, max, _ := gaugeStats(ex, gaugeInflightIPIs)
+		rep.Resources = append(rep.Resources, scored(Resource{
+			Name:           "tlb_ipi",
+			Utilization:    float64(waits[span.WaitIPI.String()]) / fw,
+			MeanQueue:      mean,
+			MaxQueue:       max,
+			WaitKind:       span.WaitIPI.String(),
+			SpanWaitCycles: waits[span.WaitIPI.String()],
+		}))
+	}
+
+	// Advisory: engine run-queue depth (deep queue = available
+	// parallelism, not saturation) and DRAM occupancy (capacity signal,
+	// not a queueing resource).
+	if mean, max, ok := gaugeStats(ex, gaugeRunQueue); ok {
+		rep.Resources = append(rep.Resources, Resource{
+			Name: "cpu_runqueue", MeanQueue: mean, MaxQueue: max, Advisory: true,
+		})
+	}
+	if mean, max, ok := gaugeStats(ex, gaugeDramOccupancy); ok {
+		rep.Resources = append(rep.Resources, Resource{
+			Name: "dram", Utilization: mean / 1000, MaxQueue: max, Advisory: true,
+		})
+	}
+
+	for i := range rep.Resources {
+		if r := &rep.Resources[i]; r.SpanWaitCycles > 0 {
+			r.SpanMeanQueue = float64(r.SpanWaitCycles) / fw
+		}
+	}
+	sortResources(rep.Resources)
+	rep.Verdict = verdict(rep.Resources)
+	return rep
+}
+
+// scored fills in the saturation score.
+func scored(r Resource) Resource {
+	r.Score = r.Utilization * (1 + r.MeanQueue)
+	return r
+}
+
+// sortResources orders by score descending, advisory rows last, name
+// ascending on ties — a total deterministic order.
+func sortResources(rs []Resource) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && less(rs[j], rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func less(a, b Resource) bool {
+	if a.Advisory != b.Advisory {
+		return !a.Advisory
+	}
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Name < b.Name
+}
+
+// verdict names the winner among non-advisory rows.
+func verdict(rs []Resource) string {
+	for _, r := range rs {
+		if r.Advisory || r.Score <= 0 {
+			continue
+		}
+		return fmt.Sprintf("bottleneck: %s (util %.2f, avg queue %.1f)", r.Name, r.Utilization, r.MeanQueue)
+	}
+	return "bottleneck: none (no saturated resource)"
+}
+
+// window is the wall-cycle span the intervals cover.
+func window(ex timeline.Export) uint64 {
+	if len(ex.Intervals) == 0 {
+		return 0
+	}
+	return ex.Intervals[len(ex.Intervals)-1].End - ex.Intervals[0].Start
+}
+
+// sumCounters folds the per-interval counter deltas back into segment
+// totals.
+func sumCounters(ex timeline.Export) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, iv := range ex.Intervals {
+		for name, v := range iv.Counters {
+			out[name] += v
+		}
+	}
+	return out
+}
+
+// gaugeStats returns one gauge's sample-weighted mean and max across the
+// segment. ok reports whether the gauge was sampled at all (a segment
+// whose every reading was zero still counts as sampled — zero pruning
+// only drops the per-interval map entries, not the sample counts).
+func gaugeStats(ex timeline.Export, name string) (mean float64, max uint64, ok bool) {
+	var sum, samples uint64
+	for _, iv := range ex.Intervals {
+		samples += iv.GaugeSamples
+		if g, hit := iv.Gauges[name]; hit {
+			sum += g.Sum
+			if g.Max > max {
+				max = g.Max
+			}
+		}
+	}
+	if samples == 0 {
+		return 0, 0, false
+	}
+	return float64(sum) / float64(samples), max, true
+}

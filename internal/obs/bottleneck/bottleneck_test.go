@@ -1,0 +1,164 @@
+package bottleneck
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"daxvm/internal/obs/span"
+	"daxvm/internal/obs/timeline"
+)
+
+// saturatedLockExport builds a segment where mmap_sem is write-held 97%
+// of the time with a deep sampled queue while the PMem channel idles —
+// the post-knee shape. The reader-hold counter is present but must not
+// feed utilization (shared stints are not serial capacity).
+func saturatedLockExport() (timeline.Export, *span.SegmentExport) {
+	ex := timeline.Export{
+		Segment: "t16",
+		Intervals: []timeline.Interval{
+			{
+				Start: 0, End: 1_000_000, Cycles: 1_000_000,
+				Counters: map[string]uint64{
+					"mm.lock.hold_cycles":        970_000,
+					"mm.lock.read.hold_cycles":   400_000,
+					"mm.lock.wait_cycles":        11_400_000,
+					"pmem.bw.busy_cycles":        120_000,
+					"pmem.throttle_stall_cycles": 5_000,
+				},
+				Gauges: map[string]timeline.GaugePoint{
+					"mmap_sem.queue": {Sum: 113, Max: 15},
+					"rq.depth":       {Sum: 140, Max: 16},
+				},
+				GaugeSamples: 10,
+			},
+		},
+	}
+	sp := &span.SegmentExport{
+		Segment: "t16",
+		WaitTotals: map[string]uint64{
+			"mmap_sem": 11_000_000,
+			"pmem_bw":  5_000,
+		},
+	}
+	return ex, sp
+}
+
+func TestAnalyzeFingersSaturatedLock(t *testing.T) {
+	ex, sp := saturatedLockExport()
+	rep := Analyze(ex, sp)
+	if rep.WindowCycles != 1_000_000 {
+		t.Fatalf("WindowCycles = %d", rep.WindowCycles)
+	}
+	if len(rep.Resources) == 0 || rep.Resources[0].Name != "mmap_sem" {
+		t.Fatalf("top resource = %+v, want mmap_sem first", rep.Resources)
+	}
+	top := rep.Resources[0]
+	if top.Utilization != 0.97 {
+		t.Errorf("mmap_sem util = %v, want 0.97", top.Utilization)
+	}
+	if top.MeanQueue != 11.3 {
+		t.Errorf("mmap_sem mean queue = %v, want 11.3 (gauge 113/10)", top.MeanQueue)
+	}
+	if top.MaxQueue != 15 {
+		t.Errorf("mmap_sem max queue = %v, want 15", top.MaxQueue)
+	}
+	want := "bottleneck: mmap_sem (util 0.97, avg queue 11.3)"
+	if rep.Verdict != want {
+		t.Errorf("verdict = %q, want %q", rep.Verdict, want)
+	}
+	// The advisory run-queue row has the deepest queue but must not win.
+	for _, r := range rep.Resources {
+		if r.Name == "cpu_runqueue" && !r.Advisory {
+			t.Errorf("cpu_runqueue not advisory")
+		}
+	}
+}
+
+// TestAnalyzeFingersPMemBelowKnee checks the pre-knee shape: channel
+// nearly saturated, lock barely held.
+func TestAnalyzeFingersPMemBelowKnee(t *testing.T) {
+	ex := timeline.Export{
+		Segment: "t1",
+		Intervals: []timeline.Interval{
+			{
+				Start: 0, End: 1_000_000, Cycles: 1_000_000,
+				Counters: map[string]uint64{
+					"mm.lock.hold_cycles":        40_000,
+					"pmem.bw.busy_cycles":        930_000,
+					"pmem.throttle_stall_cycles": 400_000,
+				},
+				Gauges:       map[string]timeline.GaugePoint{"mmap_sem.queue": {Sum: 0, Max: 0}},
+				GaugeSamples: 10,
+			},
+		},
+	}
+	sp := &span.SegmentExport{Segment: "t1", WaitTotals: map[string]uint64{"pmem_bw": 400_000}}
+	rep := Analyze(ex, sp)
+	if rep.Resources[0].Name != "pmem_bw" {
+		t.Fatalf("top resource = %s, want pmem_bw", rep.Resources[0].Name)
+	}
+	if !strings.HasPrefix(rep.Verdict, "bottleneck: pmem_bw") {
+		t.Errorf("verdict = %q", rep.Verdict)
+	}
+}
+
+// TestScoreReconcilesAgainstSpanWaits pins the cross-layer identity: for
+// the charged pmem_bw kind, the throttle-stall counter the score's queue
+// term uses and the span layer's once-counted wait total are the same
+// cycles, so MeanQueue must equal SpanMeanQueue exactly.
+func TestScoreReconcilesAgainstSpanWaits(t *testing.T) {
+	ex, sp := saturatedLockExport()
+	rep := Analyze(ex, sp)
+	var pm *Resource
+	for i := range rep.Resources {
+		if rep.Resources[i].Name == "pmem_bw" {
+			pm = &rep.Resources[i]
+		}
+	}
+	if pm == nil {
+		t.Fatal("no pmem_bw row")
+	}
+	if pm.SpanWaitCycles != sp.WaitTotals["pmem_bw"] {
+		t.Fatalf("SpanWaitCycles = %d, want %d", pm.SpanWaitCycles, sp.WaitTotals["pmem_bw"])
+	}
+	if pm.MeanQueue != pm.SpanMeanQueue {
+		t.Errorf("pmem_bw MeanQueue %v != SpanMeanQueue %v — layers disagree", pm.MeanQueue, pm.SpanMeanQueue)
+	}
+	// Score follows the documented formula exactly.
+	if want := pm.Utilization * (1 + pm.MeanQueue); pm.Score != want {
+		t.Errorf("score = %v, want %v", pm.Score, want)
+	}
+}
+
+func TestAnalyzeDeterministicBytes(t *testing.T) {
+	ex, sp := saturatedLockExport()
+	a, err := json.Marshal(Analyze(ex, sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(Analyze(ex, sp))
+	if string(a) != string(b) {
+		t.Fatal("two analyses of the same exports marshalled differently")
+	}
+}
+
+func TestAnalyzeEmptySegment(t *testing.T) {
+	rep := Analyze(timeline.Export{Segment: "empty"}, nil)
+	if rep.Verdict != "bottleneck: none (empty segment)" {
+		t.Errorf("verdict = %q", rep.Verdict)
+	}
+	// Nil spans and no gauges: still no panic, advisory rows absent.
+	rep = Analyze(timeline.Export{
+		Segment:   "quiet",
+		Intervals: []timeline.Interval{{Start: 0, End: 100, Cycles: 100}},
+	}, nil)
+	if rep.Verdict != "bottleneck: none (no saturated resource)" {
+		t.Errorf("quiet verdict = %q", rep.Verdict)
+	}
+	for _, r := range rep.Resources {
+		if r.Name == "cpu_runqueue" || r.Name == "dram" {
+			t.Errorf("advisory row %s present without gauge samples", r.Name)
+		}
+	}
+}

@@ -52,12 +52,18 @@ type ClassExport struct {
 }
 
 // SegmentExport is everything the span layer learned during one
-// segment: per-class critical-path rows (sorted by class name) and the
-// top-K exemplar trees per class (slowest first).
+// segment: per-class critical-path rows (sorted by class name), the
+// top-K exemplar trees per class (slowest first), and the segment's
+// once-counted wait-kind totals. Unlike the per-class Waits (which
+// multi-count by span nesting depth), WaitTotals book every classified
+// charge and every uncharged Wait gap exactly once, so they reconcile
+// against the resource models' stall counters and anchor the bottleneck
+// analyzer's cross-check.
 type SegmentExport struct {
-	Segment   string            `json:"segment"`
-	Classes   []ClassExport     `json:"classes"`
-	Exemplars map[string][]Span `json:"exemplars,omitempty"`
+	Segment    string            `json:"segment"`
+	Classes    []ClassExport     `json:"classes"`
+	Exemplars  map[string][]Span `json:"exemplars,omitempty"`
+	WaitTotals map[string]uint64 `json:"wait_totals,omitempty"`
 }
 
 // snapshot deep-copies a finished node tree into the export form.
@@ -110,7 +116,7 @@ func (c *Collector) Export() []SegmentExport {
 	for _, s := range c.done {
 		out = append(out, exportSegment(s))
 	}
-	if len(c.cur.classes) > 0 {
+	if !c.cur.empty() {
 		out = append(out, exportSegment(c.cur))
 	}
 	return out
@@ -131,7 +137,7 @@ func (c *Collector) ExportSegment(id string) (SegmentExport, bool) {
 }
 
 func exportSegment(s *segment) SegmentExport {
-	out := SegmentExport{Segment: s.id}
+	out := SegmentExport{Segment: s.id, WaitTotals: waitMap(s.waits)}
 	for _, name := range obs.SortedKeys(s.classes) {
 		st := s.classes[name]
 		snap := st.hist.Snapshot()

@@ -137,9 +137,30 @@ type exemplar struct {
 
 // segment groups spans the way the timeline groups intervals: one
 // segment per experiment run, so artifacts can slice per experiment.
+// waits are the segment's once-counted wait-kind totals: every charged
+// classified cycle and every uncharged Wait gap lands here exactly once,
+// whether or not a span is open. Per-class wait stats multi-count by
+// nesting depth (finish propagates tree waits to parents), so these
+// totals — not the class sums — are what reconcile against the resource
+// models' own stall counters and what the bottleneck analyzer
+// cross-checks saturation scores against.
 type segment struct {
 	id      string
 	classes map[string]*classStats
+	waits   [numWaitKinds]uint64
+}
+
+// empty reports whether the segment saw neither spans nor wait cycles.
+func (s *segment) empty() bool {
+	if len(s.classes) > 0 {
+		return false
+	}
+	for _, v := range s.waits {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *segment) class(name string) *classStats {
@@ -344,6 +365,16 @@ func (c *Collector) Observe(t *sim.Thread, path string, cycles uint64, remote bo
 		return
 	}
 	ts := c.state(t)
+	k, hit := c.waitCls[path]
+	if !hit {
+		k = classify(path)
+		c.waitCls[path] = k
+	}
+	if k != noKind {
+		// Segment totals count every classified charge exactly once,
+		// span or no span (a daemon's bw stall is still channel wait).
+		c.cur.waits[k] += cycles
+	}
 	if len(ts.stack) == 0 {
 		c.outside += cycles
 		return
@@ -351,11 +382,6 @@ func (c *Collector) Observe(t *sim.Thread, path string, cycles uint64, remote bo
 	n := ts.stack[len(ts.stack)-1]
 	n.self += cycles
 	c.booked += cycles
-	k, hit := c.waitCls[path]
-	if !hit {
-		k = classify(path)
-		c.waitCls[path] = k
-	}
 	if k != noKind {
 		n.waits[k] += cycles
 	}
@@ -393,6 +419,7 @@ func (c *Collector) Wait(t *sim.Thread, k WaitKind, cycles uint64) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.cur.waits[k] += cycles
 	ts := c.state(t)
 	if len(ts.stack) == 0 {
 		return
@@ -408,7 +435,7 @@ func (c *Collector) StartSegment(id string) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.cur.classes) > 0 {
+	if !c.cur.empty() {
 		c.done = append(c.done, c.cur)
 	}
 	c.cur = &segment{id: id, classes: map[string]*classStats{}}

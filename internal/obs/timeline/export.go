@@ -31,6 +31,11 @@ type Interval struct {
 	Counters map[string]uint64    `json:"counters,omitempty"`
 	Hists    map[string]HistPoint `json:"hist,omitempty"`
 	Attr     map[string]uint64    `json:"attr,omitempty"`
+	// Gauges holds per-interval saturation-gauge accumulations (all-zero
+	// readings pruned); GaugeSamples is how many sampler wakes landed in
+	// the interval, the shared denominator for every gauge's mean.
+	Gauges       map[string]GaugePoint `json:"gauges,omitempty"`
+	GaugeSamples uint64                `json:"gauge_samples,omitempty"`
 }
 
 // HistPoint summarizes one histogram's window delta.
@@ -38,6 +43,14 @@ type HistPoint struct {
 	Count uint64  `json:"count"`
 	P50   float64 `json:"p50"`
 	P99   float64 `json:"p99"`
+}
+
+// GaugePoint accumulates one gauge's instantaneous readings over an
+// interval's GaugeSamples wakes: Sum/GaugeSamples is the mean, Max the
+// worst instant observed.
+type GaugePoint struct {
+	Sum uint64 `json:"sum"`
+	Max uint64 `json:"max"`
 }
 
 // RunMark records one engine run's span on the segment axis.
@@ -96,6 +109,16 @@ func exportSegment(s *segment) Export {
 			}
 			out.Attr[attrRoot(path)] += l.Cycles
 		}
+		out.GaugeSamples = iv.gaugeSamples
+		for name, g := range iv.gauges {
+			if g.sum == 0 && g.max == 0 {
+				continue
+			}
+			if out.Gauges == nil {
+				out.Gauges = make(map[string]GaugePoint)
+			}
+			out.Gauges[name] = GaugePoint{Sum: g.sum, Max: g.max}
+		}
 		ex.Intervals = append(ex.Intervals, out)
 	}
 	return ex
@@ -125,6 +148,14 @@ func WriteCSV(w io.Writer, exports []Export) error {
 			}
 			for _, name := range obs.SortedKeys(iv.Attr) {
 				row("attr."+name, strconv.FormatUint(iv.Attr[name], 10))
+			}
+			if iv.GaugeSamples > 0 {
+				row("gauge_samples", strconv.FormatUint(iv.GaugeSamples, 10))
+			}
+			for _, name := range obs.SortedKeys(iv.Gauges) {
+				g := iv.Gauges[name]
+				row("gauge."+name+".sum", strconv.FormatUint(g.Sum, 10))
+				row("gauge."+name+".max", strconv.FormatUint(g.Max, 10))
 			}
 		}
 	}

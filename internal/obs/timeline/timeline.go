@@ -21,6 +21,7 @@
 package timeline
 
 import (
+	"sort"
 	"strings"
 	"sync"
 
@@ -60,9 +61,19 @@ type Timeline struct {
 	cyc *obs.CycleAccount
 	cfg Config
 
-	mu   sync.Mutex
-	done []Export // finished segments, in StartSegment order
-	cur  *segment
+	mu        sync.Mutex
+	done      []Export // finished segments, in StartSegment order
+	cur       *segment
+	gauges    []gaugeEntry // sorted by name
+	gaugeVals []uint64     // per-sample scratch, len(gauges); avoids per-sample allocation
+}
+
+// gaugeEntry is one registered saturation gauge. The Perfetto track name
+// is interned at registration so sampling never concatenates strings.
+type gaugeEntry struct {
+	name  string
+	track string // "gauge." + name
+	fn    func(now uint64) uint64
 }
 
 // segment is one experiment's in-progress timeline.
@@ -77,12 +88,20 @@ type segment struct {
 	prevCyc      obs.CycleSnapshot
 }
 
-// interval holds one window's deltas (not absolute readings).
+// interval holds one window's deltas (not absolute readings), plus the
+// instantaneous gauge readings taken at sampler wakes that landed inside
+// the window (sum and max across gaugeSamples wakes, so the mean
+// survives coalescing).
 type interval struct {
-	start, end uint64
-	reg        obs.Snapshot
-	cyc        obs.CycleSnapshot
+	start, end   uint64
+	reg          obs.Snapshot
+	cyc          obs.CycleSnapshot
+	gauges       map[string]gaugeAcc
+	gaugeSamples uint64
 }
+
+// gaugeAcc accumulates one gauge's readings inside one interval.
+type gaugeAcc struct{ sum, max uint64 }
 
 // New creates a timeline sampling reg and cyc. Zero-value Config fields
 // take the package defaults.
@@ -94,6 +113,31 @@ func New(reg *obs.Registry, cyc *obs.CycleAccount, cfg Config) *Timeline {
 		cfg.MaxIntervals = DefaultMaxIntervals
 	}
 	return &Timeline{reg: reg, cyc: cyc, cfg: cfg}
+}
+
+// Gauge registers a named saturation gauge: fn is read at every sampler
+// wake with the engine-local virtual time and must be a pure snapshot —
+// no cycle charges, no simulated-state mutation, no allocation (gauge
+// readers are simlint hotalloc roots). Registering an existing name
+// replaces its reader, mirroring Registry.Counter, so sequentially
+// booted kernels sharing one timeline always sample live state. Gauges
+// are sampled in name order for deterministic trace emission.
+func (tl *Timeline) Gauge(name string, fn func(now uint64) uint64) {
+	if tl == nil {
+		return
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	e := gaugeEntry{name: name, track: "gauge." + name, fn: fn}
+	for i := range tl.gauges {
+		if tl.gauges[i].name == name {
+			tl.gauges[i] = e
+			return
+		}
+	}
+	tl.gauges = append(tl.gauges, e)
+	sort.Slice(tl.gauges, func(i, j int) bool { return tl.gauges[i].name < tl.gauges[j].name })
+	tl.gaugeVals = make([]uint64, len(tl.gauges))
 }
 
 // StartSegment finishes the current segment (if it recorded anything) and
@@ -162,7 +206,7 @@ func (tl *Timeline) Sample(now uint64) {
 	tl.mu.Lock()
 	defer tl.mu.Unlock()
 	s := tl.ensureLocked()
-	tl.recordLocked(s, s.offset+now, now)
+	tl.recordLocked(s, s.offset+now, now, true)
 }
 
 // FlushRun closes the tail interval of a finished engine run whose local
@@ -170,7 +214,9 @@ func (tl *Timeline) Sample(now uint64) {
 // offset so the next run continues the same axis. The kernel calls this
 // after every engine run (aging, setup, measured), which is what makes the
 // summed interval cycle deltas reconcile exactly against the engines'
-// TotalCharged.
+// TotalCharged. Gauges are NOT read here: the engine has drained, so
+// queue-depth readings at flush time would dilute the means with
+// structural zeros.
 func (tl *Timeline) FlushRun(label string, localEnd uint64) {
 	if tl == nil {
 		return
@@ -179,7 +225,7 @@ func (tl *Timeline) FlushRun(label string, localEnd uint64) {
 	defer tl.mu.Unlock()
 	s := tl.ensureLocked()
 	abs := s.offset + localEnd
-	tl.recordLocked(s, abs, localEnd)
+	tl.recordLocked(s, abs, localEnd, false)
 	if abs > s.offset {
 		s.runs = append(s.runs, RunMark{Label: label, Start: s.offset, End: abs})
 	}
@@ -192,26 +238,50 @@ func (tl *Timeline) FlushRun(label string, localEnd uint64) {
 // events at the engine-local timestamp, and appends the interval. Empty
 // windows advance the boundary without appending; a zero-width flush tail
 // (work booked at the exact sample time after the sampler ran) folds into
-// the previous interval so no cycles are lost.
-func (tl *Timeline) recordLocked(s *segment, abs, local uint64) {
+// the previous interval so no cycles are lost. When sample is true (a
+// sampler wake, not a run flush) every registered gauge is read at the
+// engine-local instant; readings in empty windows are dropped with the
+// window, so per-interval means only average instants where work ran.
+func (tl *Timeline) recordLocked(s *segment, abs, local uint64, sample bool) {
 	curReg := tl.reg.Snapshot()
 	curCyc := tl.cyc.Snapshot()
 	dReg := curReg.Delta(s.prevReg)
 	dCyc := curCyc.Delta(s.prevCyc)
 	s.prevReg = curReg
 	s.prevCyc = curCyc
-	tl.emitTracks(local, dCyc, dReg)
+	sampledGauges := sample && len(tl.gauges) > 0
+	if sampledGauges {
+		for i := range tl.gauges {
+			tl.gaugeVals[i] = tl.gauges[i].fn(local)
+		}
+	}
+	tl.emitTracks(local, dCyc, dReg, sampledGauges)
 	if emptyDelta(dReg, dCyc) {
 		s.lastBoundary = abs
 		return
+	}
+	var g map[string]gaugeAcc
+	var gSamples uint64
+	if sampledGauges {
+		g = make(map[string]gaugeAcc, len(tl.gauges))
+		for i := range tl.gauges {
+			v := tl.gaugeVals[i]
+			g[tl.gauges[i].name] = gaugeAcc{sum: v, max: v}
+		}
+		gSamples = 1
 	}
 	if abs == s.lastBoundary && len(s.intervals) > 0 {
 		last := &s.intervals[len(s.intervals)-1]
 		last.reg = mergeReg(last.reg, dReg)
 		last.cyc = mergeCyc(last.cyc, dCyc)
+		last.gauges = mergeGauges(last.gauges, g)
+		last.gaugeSamples += gSamples
 		return
 	}
-	s.intervals = append(s.intervals, interval{start: s.lastBoundary, end: abs, reg: dReg, cyc: dCyc})
+	s.intervals = append(s.intervals, interval{
+		start: s.lastBoundary, end: abs, reg: dReg, cyc: dCyc,
+		gauges: g, gaugeSamples: gSamples,
+	})
 	s.lastBoundary = abs
 	if len(s.intervals) > tl.cfg.MaxIntervals {
 		s.coalesce()
@@ -219,9 +289,11 @@ func (tl *Timeline) recordLocked(s *segment, abs, local uint64) {
 }
 
 // emitTracks mirrors the window's headline deltas into the trace ring as
-// counter events. Series order is the fixed config order, never a map
-// range.
-func (tl *Timeline) emitTracks(local uint64, dCyc obs.CycleSnapshot, dReg obs.Snapshot) {
+// counter events. Series order is the fixed config order (then gauge name
+// order), never a map range. Gauge tracks carry instantaneous readings,
+// not window deltas, and interleave with the event slices on the same
+// engine-local timebase.
+func (tl *Timeline) emitTracks(local uint64, dCyc obs.CycleSnapshot, dReg obs.Snapshot, sampledGauges bool) {
 	tr := tl.cfg.Tracer
 	if tr == nil {
 		return
@@ -232,6 +304,11 @@ func (tl *Timeline) emitTracks(local uint64, dCyc obs.CycleSnapshot, dReg obs.Sn
 			tr.Emit(obs.EvCounter, 0, local, 0, name, v)
 		}
 	}
+	if sampledGauges {
+		for i := range tl.gauges {
+			tr.Emit(obs.EvCounter, 0, local, 0, tl.gauges[i].track, tl.gaugeVals[i])
+		}
+	}
 }
 
 // coalesce merges adjacent interval pairs and doubles the period.
@@ -240,10 +317,12 @@ func (s *segment) coalesce() {
 	for i := 0; i+1 < len(s.intervals); i += 2 {
 		a, b := s.intervals[i], s.intervals[i+1]
 		merged = append(merged, interval{
-			start: a.start,
-			end:   b.end,
-			reg:   mergeReg(a.reg, b.reg),
-			cyc:   mergeCyc(a.cyc, b.cyc),
+			start:        a.start,
+			end:          b.end,
+			reg:          mergeReg(a.reg, b.reg),
+			cyc:          mergeCyc(a.cyc, b.cyc),
+			gauges:       mergeGauges(a.gauges, b.gauges),
+			gaugeSamples: a.gaugeSamples + b.gaugeSamples,
 		})
 	}
 	if len(s.intervals)%2 == 1 {
@@ -303,6 +382,30 @@ func mergeHist(a, b obs.HistSnapshot) obs.HistSnapshot {
 		for k, v := range b.Buckets {
 			out.Buckets[k] += v
 		}
+	}
+	return out
+}
+
+// mergeGauges combines two intervals' gauge accumulations: sums add
+// (preserving the mean across gaugeSamples) and maxima take the larger.
+func mergeGauges(a, b map[string]gaugeAcc) map[string]gaugeAcc {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make(map[string]gaugeAcc, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		acc := out[k]
+		acc.sum += v.sum
+		if v.max > acc.max {
+			acc.max = v.max
+		}
+		out[k] = acc
 	}
 	return out
 }

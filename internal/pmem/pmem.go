@@ -65,6 +65,7 @@ type Stats struct {
 	Clwbs         uint64
 	Fences        uint64
 	ThrottleStall uint64 // cycles foreground ops stalled on the bucket
+	BusyCycles    uint64 // cycles the bank's channels were occupied by transfers
 }
 
 // Config controls device construction.
@@ -433,7 +434,9 @@ func (d *Device) ResetTiming() {
 }
 
 func (d *Device) consumeRead(t *sim.Thread, node mem.NodeID, n uint64) {
-	stall := consume(t, &d.banks[node].bw.readBusyUntil, n, cost.PMemDeviceReadBytesPerCycle)
+	busy, stall := consume(t, &d.banks[node].bw.readBusyUntil, n, cost.PMemDeviceReadBytesPerCycle)
+	d.Stats.BusyCycles += busy
+	d.banks[node].stats.BusyCycles += busy
 	if stall > 0 {
 		d.Stats.ThrottleStall += stall
 		d.banks[node].stats.ThrottleStall += stall
@@ -441,11 +444,29 @@ func (d *Device) consumeRead(t *sim.Thread, node mem.NodeID, n uint64) {
 }
 
 func (d *Device) consumeWrite(t *sim.Thread, node mem.NodeID, n uint64) {
-	stall := consume(t, &d.banks[node].bw.writeBusyUntil, n, cost.PMemDeviceWriteBytesPerCycle)
+	busy, stall := consume(t, &d.banks[node].bw.writeBusyUntil, n, cost.PMemDeviceWriteBytesPerCycle)
+	d.Stats.BusyCycles += busy
+	d.banks[node].stats.BusyCycles += busy
 	if stall > 0 {
 		d.Stats.ThrottleStall += stall
 		d.banks[node].stats.ThrottleStall += stall
 	}
+}
+
+// BacklogOn reports, at virtual time now, how many cycles of already-booked
+// transfer work remain queued on one node's read and write channels
+// combined — the token bucket's saturation signal. Zero when both channels
+// have drained. Pure read for gauge sampling: charges nothing and never
+// touches bucket state.
+func (d *Device) BacklogOn(node int, now uint64) uint64 {
+	var backlog uint64
+	if bu := d.banks[node].bw.readBusyUntil; bu > now {
+		backlog += bu - now
+	}
+	if bu := d.banks[node].bw.writeBusyUntil; bu > now {
+		backlog += bu - now
+	}
+	return backlog
 }
 
 // --- bandwidth token bucket -------------------------------------------------
@@ -464,10 +485,11 @@ type tokenBucket struct {
 }
 
 // consume books an n-byte transfer on the channel, charges any stall to
-// t, and returns the stall cycles for the caller's statistics. The
-// "bw_stall" label is load-bearing beyond profiling: the span layer
-// (internal/obs/span) classifies it as the pmem_bw wait kind.
-func consume(t *sim.Thread, busyUntil *uint64, n uint64, rate float64) uint64 {
+// t, and returns the transfer's channel-occupancy cycles plus the stall
+// cycles for the caller's statistics. The "bw_stall" label is
+// load-bearing beyond profiling: the span layer (internal/obs/span)
+// classifies it as the pmem_bw wait kind.
+func consume(t *sim.Thread, busyUntil *uint64, n uint64, rate float64) (busy, stall uint64) {
 	// Synchronization point: the shared channel state must be touched in
 	// virtual-time order or threads that never block would serialize
 	// each other spuriously.
@@ -484,9 +506,8 @@ func consume(t *sim.Thread, busyUntil *uint64, n uint64, rate float64) uint64 {
 	finish := start + dur
 	*busyUntil = finish
 	if finish > now {
-		stall := finish - now
+		stall = finish - now
 		t.ChargeAs("bw_stall", stall)
-		return stall
 	}
-	return 0
+	return dur, stall
 }

@@ -254,6 +254,17 @@ func (e *Engine) SetChargeObserver(fn func(t *Thread, path string, cycles uint64
 // the quantity a cycle profile must reconcile against.
 func (e *Engine) TotalCharged() uint64 { return e.charged }
 
+// ReadyDepth reports how many threads sit in the run queue right now —
+// the engine-level saturation gauge. A stopping engine reports 0: during
+// shutdown, exited threads can linger in the heap and would otherwise
+// read as phantom runnable work. Pure read for gauge sampling.
+func (e *Engine) ReadyDepth() int {
+	if e.stopping {
+		return 0
+	}
+	return e.ready.Len()
+}
+
 // Events reports the deterministic engine-event count (scheduling pushes
 // plus charges) accumulated so far. Dividing it by host wall-clock seconds
 // yields the simulator's events/sec speed — the denominator is host time,

@@ -15,6 +15,17 @@ type LockStats struct {
 // charged on resume — which is what the span layer books as lock-wait
 // time. Wired by the kernel to the observability tracer and span
 // collector; nil costs one branch.
+//
+// Contract (holds for every lock flavour — Mutex, SpinLock, and both
+// RWSem modes — and is asserted by TestContentionCallbackShape):
+//
+//	waitStart < t.Now()
+//	blocked   = (t.Now() - waitStart) - wakeCyclesCharged
+//
+// where wakeCyclesCharged is the lock's wakeup cost (0 for SpinLock,
+// which resumes at the release time with nothing charged). blocked is
+// computed BEFORE the wakeup charge lands so callbacks never have to
+// reverse-engineer it from the clock.
 type ContentionFn func(t *Thread, kind string, waitStart, blocked uint64)
 
 // Mutex is a sleeping virtual-time mutex (FIFO). Waiters block and pay a
@@ -59,6 +70,11 @@ func (m *Mutex) Lock(t *Thread, acqCost uint64) {
 		m.OnContended(t, "mutex", start, blocked)
 	}
 }
+
+// WaitQueueDepth reports how many threads are currently parked waiting
+// for the mutex. Pure read for gauge sampling: charges nothing and never
+// perturbs the simulation.
+func (m *Mutex) WaitQueueDepth() int { return len(m.waiters) }
 
 // Unlock releases the mutex, charging relCost, and hands ownership to the
 // first waiter if any.
@@ -108,12 +124,19 @@ func (s *SpinLock) Lock(t *Thread, acqCost uint64) {
 	//lint:ignore hotalloc contention queue: bounded by thread count, steady after first growth
 	s.waiters = append(s.waiters, t)
 	t.Block("spinlock")
+	// No wakeup cost for a spinner, so the blocked gap is the whole wait
+	// window — same (waitStart, blocked) shape as Mutex/RWSem.
+	blocked := t.Now() - start
 	s.Stats.WaitCycles += t.Now() - start
 	s.acquiredAt = t.Now()
 	if s.OnContended != nil {
-		s.OnContended(t, "spinlock", start, t.Now()-start)
+		s.OnContended(t, "spinlock", start, blocked)
 	}
 }
+
+// WaitQueueDepth reports how many threads are currently spinning on the
+// lock. Pure read for gauge sampling.
+func (s *SpinLock) WaitQueueDepth() int { return len(s.waiters) }
 
 // Unlock releases the spinlock and hands it to the first spinner.
 func (s *SpinLock) Unlock(t *Thread, relCost uint64) {
@@ -172,12 +195,19 @@ func (s *RWSem) hasWaitingWriter() bool {
 	return false
 }
 
+// WaitQueueDepth reports how many threads (readers and writers combined)
+// are currently queued on the semaphore. Pure read for gauge sampling.
+func (s *RWSem) WaitQueueDepth() int { return len(s.queue) }
+
 // RLock acquires the semaphore in shared mode.
 func (s *RWSem) RLock(t *Thread, acqCost uint64) {
 	t.Yield()
 	t.Charge(acqCost)
 	s.ReaderStats.Acquisitions++
 	if s.writer == nil && !s.hasWaitingWriter() {
+		if s.readers == 0 {
+			s.acquiredAt = t.Now() // a shared stint begins
+		}
 		s.readers++
 		return
 	}
@@ -203,6 +233,11 @@ func (s *RWSem) RUnlock(t *Thread, relCost uint64) {
 	t.Charge(relCost)
 	s.readers--
 	if s.readers == 0 {
+		// The shared stint ends: book its hold time against the reader
+		// side (writer stints book in Unlock), so HoldCycles across both
+		// sides is the total time the sem was held — the utilization
+		// numerator the bottleneck analyzer divides by wall cycles.
+		s.ReaderStats.HoldCycles += t.Now() - s.acquiredAt
 		s.wakeNext(t)
 	}
 }
@@ -264,6 +299,7 @@ func (s *RWSem) wakeNext(t *Thread) {
 		n++
 	}
 	s.readers += n
+	s.acquiredAt = t.Now() // the woken batch's shared stint begins at handoff
 	for i := 0; i < n; i++ {
 		t.e.Wake(s.queue[i].t, t.Now())
 	}

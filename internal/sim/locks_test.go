@@ -122,6 +122,108 @@ func TestContentionBlockedExcludesWakeCost(t *testing.T) {
 	}
 }
 
+// TestContentionCallbackShape drives every lock flavour through the same
+// two-thread scenario (holder keeps the lock for 100 cycles, contender
+// arrives at t=10) and asserts all four kinds report identically shaped
+// (waitStart, blocked) values per the ContentionFn contract:
+// blocked = (now - waitStart) - wakeCharged, computed before the wake
+// charge lands. SpinLock historically inlined t.Now()-start instead —
+// this pins the fixed behaviour.
+func TestContentionCallbackShape(t *testing.T) {
+	const wake = 7
+	cases := []struct {
+		name     string
+		wakeCost uint64
+		run      func(e *Engine, onc ContentionFn)
+	}{
+		{"mutex", wake, func(e *Engine, onc ContentionFn) {
+			m := NewMutex(wake)
+			m.OnContended = onc
+			e.Go("a", 0, 0, func(th *Thread) { m.Lock(th, 0); th.Charge(100); m.Unlock(th, 0) })
+			e.Go("b", 1, 10, func(th *Thread) { m.Lock(th, 0); m.Unlock(th, 0) })
+		}},
+		{"spinlock", 0, func(e *Engine, onc ContentionFn) {
+			s := &SpinLock{}
+			s.OnContended = onc
+			e.Go("a", 0, 0, func(th *Thread) { s.Lock(th, 0); th.Charge(100); s.Unlock(th, 0) })
+			e.Go("b", 1, 10, func(th *Thread) { s.Lock(th, 0); s.Unlock(th, 0) })
+		}},
+		{"read", wake, func(e *Engine, onc ContentionFn) {
+			s := NewRWSem(wake)
+			s.OnContended = onc
+			e.Go("a", 0, 0, func(th *Thread) { s.Lock(th, 0); th.Charge(100); s.Unlock(th, 0) })
+			e.Go("b", 1, 10, func(th *Thread) { s.RLock(th, 0); s.RUnlock(th, 0) })
+		}},
+		{"write", wake, func(e *Engine, onc ContentionFn) {
+			s := NewRWSem(wake)
+			s.OnContended = onc
+			e.Go("a", 0, 0, func(th *Thread) { s.RLock(th, 0); th.Charge(100); s.RUnlock(th, 0) })
+			e.Go("b", 1, 10, func(th *Thread) { s.Lock(th, 0); s.Unlock(th, 0) })
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New()
+			var kind string
+			var waitStart, blocked, end uint64
+			fired := 0
+			tc.run(e, func(th *Thread, k string, ws, b uint64) {
+				fired++
+				kind, waitStart, blocked, end = k, ws, b, th.Now()
+			})
+			e.Run()
+			if fired != 1 {
+				t.Fatalf("OnContended fired %d times, want 1", fired)
+			}
+			if kind != tc.name {
+				t.Errorf("kind = %q, want %q", kind, tc.name)
+			}
+			// Identical shape across flavours: the contender arrived at
+			// t=10 and was handed the lock at t=100; the only flavour
+			// difference is the wake cost charged after the park gap.
+			if waitStart != 10 {
+				t.Errorf("waitStart = %d, want 10", waitStart)
+			}
+			if end != 100+tc.wakeCost {
+				t.Errorf("callback fired at t=%d, want %d", end, 100+tc.wakeCost)
+			}
+			if want := (end - waitStart) - tc.wakeCost; blocked != want {
+				t.Errorf("blocked = %d, want %d ((now-waitStart)-wakeCharged)", blocked, want)
+			}
+			if blocked != 90 {
+				t.Errorf("blocked = %d, want 90 for every flavour", blocked)
+			}
+		})
+	}
+}
+
+// TestWaitQueueDepth samples queue depth from a zero-cost observer while
+// three threads pile onto a mutex, checking the gauge reads the parked
+// count without perturbing the run.
+func TestWaitQueueDepth(t *testing.T) {
+	e := New()
+	m := NewMutex(0)
+	var depths []int
+	e.Go("holder", 0, 0, func(th *Thread) {
+		m.Lock(th, 0)
+		th.Charge(100)
+		th.Yield() // let the t=10 arrivals park before sampling
+		depths = append(depths, m.WaitQueueDepth())
+		m.Unlock(th, 0)
+	})
+	for i := 0; i < 2; i++ {
+		core := i + 1
+		e.Go("w", core, 10, func(th *Thread) { m.Lock(th, 0); m.Unlock(th, 0) })
+	}
+	e.Run()
+	if len(depths) != 1 || depths[0] != 2 {
+		t.Fatalf("sampled depths = %v, want [2]", depths)
+	}
+	if m.WaitQueueDepth() != 0 {
+		t.Fatalf("final depth = %d, want 0", m.WaitQueueDepth())
+	}
+}
+
 // TestRWSemReaderStats checks the reader-side stats and the "read"
 // contention callback: a writer holds the sem for 100 cycles while a
 // reader arrives at t=10 and must wait for the handoff.

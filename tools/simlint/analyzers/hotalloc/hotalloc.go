@@ -57,6 +57,21 @@ var defaultRoots = []string{
 	"(*daxvm/internal/obs.CycleAccount).Charge",
 	"(*daxvm/internal/obs/span.Collector).Observe",
 	"(*daxvm/internal/obs/span.Collector).Wait",
+	// Gauge readers run on every timeline sampler wake and must stay
+	// allocation-free. They are registered as method values
+	// (kernel.registerGauges), so they are rooted explicitly instead of
+	// relying on dynamic-call resolution through the registry. The
+	// sampler's own interval recording is deliberately NOT a root: it
+	// allocates per interval, which adaptive coalescing bounds at ~200
+	// per run — amortized bookkeeping, not per-event work.
+	"(*daxvm/internal/kernel.Kernel).gaugeRunQueue",
+	"(*daxvm/internal/kernel.Kernel).gaugeMmapSemQueue",
+	"(*daxvm/internal/kernel.Kernel).gaugeInflightIPIs",
+	"(*daxvm/internal/kernel.Kernel).gaugePMemBacklog",
+	"(*daxvm/internal/kernel.Kernel).gaugeDramOccupancy",
+	"(*daxvm/internal/kernel.Kernel).gaugeJournalQueue",
+	"(daxvm/internal/kernel.nodeGauge).pmemBacklog",
+	"(daxvm/internal/kernel.nodeGauge).dramOccupancy",
 }
 
 // stopList cuts traversal at the engine's scheduler handoff: everything
