@@ -101,6 +101,8 @@ func runNuma(o Options) *Result {
 				Obs:            o.Obs,
 				Timeline:       o.Timeline,
 				Spans:          o.Spans,
+				Sched:          o.Sched,
+				Shards:         o.Shards,
 			}
 			if o.Quick {
 				cfg.DeviceBytes = 512 << 20

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"daxvm/internal/kernel"
+	"daxvm/internal/obs"
+	"daxvm/internal/obs/span"
+	"daxvm/internal/obs/timeline"
+)
+
+// runArtifact runs one experiment in-process with a fresh observability
+// stack under the given scheduler selection and returns the serialized
+// artifact with provenance pinned. In-process artifacts carry no host
+// block (only the CLI runner sets it), so byte equality here is exactly
+// the "identical up to the host block" bar.
+func runArtifact(t *testing.T, id, sched string, shards int) []byte {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("%s not registered", id)
+	}
+	o := obs.New(0)
+	tl := timeline.New(o.Reg, o.Cycles, timeline.Config{})
+	sp := span.New(3)
+	opts := Options{Quick: true, Obs: o, Timeline: tl, Spans: sp, Sched: sched, Shards: shards}
+	res := e.Run(opts)
+	snap := o.Reg.Snapshot()
+	cycles := o.Cycles.Snapshot()
+	art := NewArtifact(res, opts, &snap, &cycles)
+	art.GitSHA = "test"
+	var buf bytes.Buffer
+	if err := art.WriteArtifact(&buf); err != nil {
+		t.Fatalf("serialize artifact: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func diffArtifacts(t *testing.T, label string, a, b []byte) {
+	t.Helper()
+	if bytes.Equal(a, b) {
+		return
+	}
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			t.Fatalf("%s: artifacts diverge at line %d:\n seq:   %s\n shard: %s", label, i+1, al[i], bl[i])
+		}
+	}
+	t.Fatalf("%s: artifacts differ in length: %d vs %d bytes", label, len(a), len(b))
+}
+
+// TestSchedGate is the in-process half of make sched-gate: for each
+// perf-gate experiment, the sharded scheduler must produce a
+// byte-identical artifact to the sequential reference. This is the
+// refactor's non-negotiable bar — the sharded scheduler buys host-side
+// speed only, never different numbers.
+func TestSchedGate(t *testing.T) {
+	for _, id := range []string{"storage", "ftcost", "numa"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			seq := runArtifact(t, id, kernel.SchedSeq, 0)
+			shard := runArtifact(t, id, kernel.SchedShard, 4)
+			diffArtifacts(t, id, seq, shard)
+		})
+	}
+}
+
+// TestShardSweep pins that the shard count is also invisible in artifact
+// bytes: 1, 2 and 4 shards all reproduce the sequential ftcost artifact.
+func TestShardSweep(t *testing.T) {
+	ref := runArtifact(t, "ftcost", kernel.SchedSeq, 0)
+	for _, n := range []int{1, 2, 4} {
+		n := n
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			got := runArtifact(t, "ftcost", kernel.SchedShard, n)
+			diffArtifacts(t, fmt.Sprintf("ftcost shards=%d", n), ref, got)
+		})
+	}
+}

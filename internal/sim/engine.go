@@ -10,10 +10,15 @@
 // virtual-time order, which makes lock-contention behaviour — the central
 // quantity in the DaxVM paper's scalability experiments — emerge from the
 // model rather than from a formula, while remaining fully deterministic.
+//
+// The ready queue and the observability emission policy live behind the
+// Scheduler interface (sched.go): New builds the sequential reference
+// scheduler, NewSharded the sharded epoch scheduler that offloads
+// charge-sink and span bookkeeping to host worker goroutines (shard.go)
+// while dispatching the model in exactly the same (wakeAt, seq) order.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,7 +26,7 @@ import (
 
 // Engine owns the virtual-time scheduler.
 type Engine struct {
-	ready    threadHeap
+	sched    Scheduler
 	seq      uint64
 	live     int // non-daemon threads still running
 	threads  []*Thread
@@ -39,15 +44,30 @@ type Engine struct {
 	// host-side events/sec speed metric. It never feeds back into
 	// simulated behaviour.
 	events uint64
+	// obsSeq stamps every deferred observability record with its global
+	// emission order. Only the sharded scheduler advances it; the model
+	// side is single-threaded, so no atomics are needed.
+	obsSeq uint64
 	// sink, when set, receives every charge with its attribution path
 	// (see Thread.PushAttr) — the hook the cycle profiler attaches to.
 	sink func(core int, path string, cycles uint64)
+	// bulkSink, when set alongside sink, lets the sharded scheduler
+	// replace per-record sink calls with pre-aggregated (path, core)
+	// partials computed in parallel by the shard workers. The sequential
+	// scheduler ignores it. The aggregate must be addition-commutative
+	// (obs.CycleAccount.ChargeN is), so the final sink state is identical
+	// to per-record application.
+	bulkSink func(core int, path string, cycles, count uint64)
 	// observer, when set, additionally receives every charge together
 	// with the charging thread — the hook the span layer attaches to.
 	// remote marks cycles booked onto this thread by another thread
 	// (AddRemote): they belong to the target's timeline but not to any
 	// operation the target itself is executing.
 	observer func(t *Thread, path string, cycles uint64, remote bool)
+	// applier, when set, receives deferred span records (ObsRecord) in
+	// emission order on sharded engines. Sequential engines never defer,
+	// so Thread.DeferObs reports false and callers take their inline path.
+	applier func(rec ObsRecord)
 	// joined interns parent+"."+label concatenations. Attribution paths
 	// are drawn from a small fixed set, but frames open and charges label
 	// millions of times per run; without interning the resulting garbage
@@ -60,9 +80,22 @@ type Engine struct {
 // stopToken is panicked into parked daemon threads at shutdown.
 type stopToken struct{}
 
-// New creates an empty engine.
+// New creates an empty engine with the sequential reference scheduler.
 func New() *Engine {
-	return &Engine{done: make(chan struct{})}
+	e := &Engine{done: make(chan struct{})}
+	e.sched = &seqScheduler{e: e}
+	return e
+}
+
+// NewSharded creates an engine whose cores are partitioned into shards
+// (contiguous blocks), each owning its own ready heap and host worker
+// goroutine for observability offload. Model dispatch order — and every
+// artifact byte — is identical to New's sequential scheduler; see
+// shard.go for what does and does not parallelize, and why.
+func NewSharded(shards, cores int) *Engine {
+	e := &Engine{done: make(chan struct{})}
+	e.sched = newShardScheduler(e, shards, cores)
+	return e
 }
 
 // Thread is one simulated hardware thread.
@@ -78,7 +111,12 @@ type Thread struct {
 	state   threadState
 	daemon  bool
 	started bool
-	fn      func(*Thread)
+	// obsReader marks sampler daemons that read observability state
+	// (cycle-account snapshots): the scheduler forces any deferred
+	// emissions to drain before dispatching one, so a sampled snapshot is
+	// identical to the sequential scheduler's at the same virtual time.
+	obsReader bool
+	fn        func(*Thread)
 
 	// attr is the attribution-frame stack: each element is the full
 	// dotted path of one open frame ("app.syscall.write", ...). Charges
@@ -137,8 +175,10 @@ func (e *Engine) GoDaemon(name string, core int, start uint64, fn func(*Thread))
 // progress). The sampler charges no cycles and must not touch simulated
 // shared state, so its presence leaves every other thread's timeline
 // bit-identical; it is torn down with the other daemons at shutdown.
+// Samplers are observability readers: on a sharded engine, deferred
+// charge/span records drain before each of their dispatches.
 func (e *Engine) GoSampler(name string, core int, next func(now uint64) uint64, fn func(now uint64)) *Thread {
-	return e.GoDaemon(name, core, 0, func(t *Thread) {
+	t := e.GoDaemon(name, core, 0, func(t *Thread) {
 		for {
 			at := next(t.Now())
 			if at <= t.Now() {
@@ -148,6 +188,8 @@ func (e *Engine) GoSampler(name string, core int, next func(now uint64) uint64, 
 			fn(t.Now())
 		}
 	})
+	t.obsReader = true
+	return t
 }
 
 // Run executes the simulation until every non-daemon thread has exited.
@@ -163,6 +205,10 @@ func (e *Engine) Run() uint64 {
 	first.state = stateRunning
 	first.resumeOrStart()
 	<-e.done
+	// Apply every deferred observability record and join the host
+	// workers before the caller reads sinks/observers or reuses them on
+	// another engine.
+	e.sched.stop()
 	if e.panicVal != nil {
 		panic(e.panicVal)
 	}
@@ -239,6 +285,17 @@ func (t *Thread) Now() uint64 { return t.clock }
 // engine (with its attribution path and core) to fn. Pass nil to detach.
 func (e *Engine) SetChargeSink(fn func(core int, path string, cycles uint64)) { e.sink = fn }
 
+// SetChargeBulkSink registers an aggregate form of the charge sink: on a
+// sharded engine, shard workers pre-aggregate deferred charges into
+// (path, core) partials in parallel and fn receives each partial's
+// summed cycles and call count instead of one sink call per charge. fn
+// must be addition-commutative with the plain sink (CycleAccount.ChargeN
+// is), so the final state is identical either way. Sequential engines
+// ignore it. Set it together with SetChargeSink.
+func (e *Engine) SetChargeBulkSink(fn func(core int, path string, cycles, count uint64)) {
+	e.bulkSink = fn
+}
+
 // SetChargeObserver routes every subsequent charge, together with the
 // thread it books onto, to fn (nil detaches). The span layer attaches
 // here: unlike the sink it needs thread identity to resolve the open
@@ -247,6 +304,16 @@ func (e *Engine) SetChargeSink(fn func(core int, path string, cycles uint64)) { 
 func (e *Engine) SetChargeObserver(fn func(t *Thread, path string, cycles uint64, remote bool)) {
 	e.observer = fn
 }
+
+// SetObsApplier registers the consumer of deferred span records on a
+// sharded engine (span.Collector.Apply). Records reach fn in exact
+// emission order, merged across shards by their sequence stamps. On a
+// sequential engine fn is never called: Thread.DeferObs reports false
+// and the span layer takes its inline path. A span layer that attaches
+// a charge observer to a sharded engine must register its applier too:
+// observer calls are deferred, so span-stack updates applied inline
+// would otherwise interleave with them out of emission order.
+func (e *Engine) SetObsApplier(fn func(rec ObsRecord)) { e.applier = fn }
 
 // TotalCharged reports the cycles booked through Charge/ChargeAs/AddRemote
 // across all threads so far. Because dispatch clamps idle threads forward
@@ -262,7 +329,7 @@ func (e *Engine) ReadyDepth() int {
 	if e.stopping {
 		return 0
 	}
-	return e.ready.Len()
+	return e.sched.readyDepth()
 }
 
 // Events reports the deterministic engine-event count (scheduling pushes
@@ -321,13 +388,7 @@ func (t *Thread) Charge(c uint64) {
 	t.e.charged += c
 	t.e.events++
 	if t.e.sink != nil || t.e.observer != nil {
-		p := t.AttrPath()
-		if t.e.sink != nil {
-			t.e.sink(t.Core, p, c)
-		}
-		if t.e.observer != nil {
-			t.e.observer(t, p, c, false)
-		}
+		t.e.sched.emitCharge(t, t.AttrPath(), c, false)
 	}
 }
 
@@ -343,12 +404,7 @@ func (t *Thread) ChargeAs(label string, c uint64) {
 		if n := len(t.attr); n > 0 {
 			p = t.e.join(t.attr[n-1], label)
 		}
-		if t.e.sink != nil {
-			t.e.sink(t.Core, p, c)
-		}
-		if t.e.observer != nil {
-			t.e.observer(t, p, c, false)
-		}
+		t.e.sched.emitCharge(t, p, c, false)
 	}
 }
 
@@ -359,12 +415,18 @@ func (t *Thread) AddRemote(path string, c uint64) {
 	t.clock += c
 	t.e.charged += c
 	t.e.events++
-	if t.e.sink != nil {
-		t.e.sink(t.Core, path, c)
+	if t.e.sink != nil || t.e.observer != nil {
+		t.e.sched.emitCharge(t, path, c, true)
 	}
-	if t.e.observer != nil {
-		t.e.observer(t, path, c, true)
-	}
+}
+
+// DeferObs offers an observability record (a span Begin/End/Wait) to the
+// scheduler for deferred in-order application. It reports false on a
+// sequential engine — or when no applier is registered — in which case
+// the caller must apply the record inline itself. Records must capture
+// everything order-sensitive (notably t.Now()) at emission time.
+func (t *Thread) DeferObs(rec ObsRecord) bool {
+	return t.e.sched.deferRecord(rec)
 }
 
 // Yield is a synchronization point: the thread re-enters the ready queue at
@@ -428,6 +490,12 @@ func (e *Engine) dispatchFrom(t *Thread, wait bool) {
 		// handled in exit(); reaching here is a bug.
 		panic("sim: scheduler underflow")
 	}
+	if next.obsReader {
+		// An observability reader is about to run: force every deferred
+		// charge/span record to land first so its snapshot reads are
+		// byte-identical to the sequential scheduler's.
+		e.sched.drain()
+	}
 	if next == t {
 		// Fast path: we are still the minimum-clock thread.
 		if t.clock < t.wakeAt {
@@ -470,7 +538,9 @@ func (t *Thread) resumeOrStart() {
 	t.resume <- struct{}{}
 }
 
-// dump formats the scheduler state for deadlock diagnostics.
+// dump formats the scheduler state for deadlock diagnostics: per thread,
+// its state, its innermost attribution path (what it was doing when it
+// parked) and — on a sharded engine — the shard it dispatches on.
 func (e *Engine) dump() string {
 	var b strings.Builder
 	ts := append([]*Thread(nil), e.threads...)
@@ -487,7 +557,11 @@ func (e *Engine) dump() string {
 		case stateExited:
 			st = "exited"
 		}
-		fmt.Fprintf(&b, "  %-24s core=%-3d clock=%-12d %s\n", t.Name, t.Core, t.clock, st)
+		fmt.Fprintf(&b, "  %-24s core=%-3d", t.Name, t.Core)
+		if sh := e.sched.shardOf(t.Core); sh >= 0 {
+			fmt.Fprintf(&b, " shard=%-2d", sh)
+		}
+		fmt.Fprintf(&b, " clock=%-12d attr=%-28s %s\n", t.clock, t.AttrPath(), st)
 	}
 	return b.String()
 }
@@ -495,39 +569,14 @@ func (e *Engine) dump() string {
 // MaxClock reports the largest clock observed (valid after Run).
 func (e *Engine) MaxClock() uint64 { return e.maxClock }
 
-// Threads returns all registered threads (for core->thread lookups).
-func (e *Engine) Threads() []*Thread { return e.threads }
-
-// --- ready heap ------------------------------------------------------------
-
-type threadHeap struct{ items []*Thread }
-
-func (h *threadHeap) Len() int { return len(h.items) }
-func (h *threadHeap) Less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
-	if a.wakeAt != b.wakeAt {
-		return a.wakeAt < b.wakeAt
-	}
-	return a.seq < b.seq
-}
-func (h *threadHeap) Swap(i, j int) {
-	h.items[i], h.items[j] = h.items[j], h.items[i]
-	h.items[i].index = i
-	h.items[j].index = j
-}
-func (h *threadHeap) Push(x any) {
-	t := x.(*Thread)
-	t.index = len(h.items)
-	h.items = append(h.items, t)
-}
-func (h *threadHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	h.items = old[:n-1]
-	return t
+// Threads returns a copy of the registered-thread list (for core->thread
+// lookups). Copying keeps the scheduler's own slice unaliased: a caller
+// appending to or reordering the returned slice cannot corrupt dispatch
+// state. The *Thread values themselves are shared, as intended.
+func (e *Engine) Threads() []*Thread {
+	out := make([]*Thread, len(e.threads))
+	copy(out, e.threads)
+	return out
 }
 
 func (e *Engine) push(t *Thread) {
@@ -535,12 +584,9 @@ func (e *Engine) push(t *Thread) {
 	e.events++
 	t.seq = e.seq
 	t.state = stateReady
-	heap.Push(&e.ready, t)
+	e.sched.push(t)
 }
 
 func (e *Engine) pop() *Thread {
-	if e.ready.Len() == 0 {
-		return nil
-	}
-	return heap.Pop(&e.ready).(*Thread)
+	return e.sched.pop()
 }
